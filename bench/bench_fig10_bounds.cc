@@ -1,0 +1,76 @@
+// Regenerates Figure 10: size upper bounds for the maximum search.
+// Series: |M|+|C| (naive), Color+Kcore [31], DoubleKcore (the paper's
+// (k,k')-core bound, Alg 6), all inside the AdvMax search.
+//   (a) DBLP, k=10, r = top 1..5 permille.
+//   (b) DBLP, r = top 3 permille, k in 10..14.
+//
+// Expected shape: DoubleKcore < Color+Kcore < |M|+|C| in running time.
+//
+// Usage: bench_fig10_bounds [--scale=] [--timeout=] [--quick] [--csv=]
+
+#include <cstdio>
+#include <vector>
+
+#include "bench_support/experiment.h"
+#include "bench_support/variants.h"
+#include "util/options.h"
+
+using namespace krcore;
+
+namespace {
+
+const char* kVariants[] = {"|M|+|C|", "Color+Kcore", "DoubleKcore"};
+
+void RunPoint(const Dataset& dataset, double r, uint32_t k,
+              const std::string& x_label, const ExperimentEnv& env,
+              FigureReport* report) {
+  SimilarityOracle oracle = dataset.MakeOracle(r);
+  std::printf("%-12s", x_label.c_str());
+  for (const char* variant : kVariants) {
+    MaxOptions opts = MakeMaxVariant(variant, k, env.timeout_seconds);
+    auto result = FindMaximumCore(dataset.graph, oracle, opts);
+    Measurement m = MeasureMax(variant, x_label, result);
+    std::printf(" %s=%-9s", variant, m.TimeString().c_str());
+    report->Add(std::move(m));
+  }
+  std::printf("\n");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  OptionParser options(argc, argv);
+  auto env = ExperimentEnv::FromOptions(options);
+  const Dataset& dblp = GetDataset("dblp", env);
+
+  {
+    FigureReport report("Fig10a", "upper bounds, DBLP, k=10");
+    std::vector<double> permilles = env.quick
+                                        ? std::vector<double>{1, 3}
+                                        : std::vector<double>{1, 2, 3, 4, 5};
+    std::printf("--- Fig 10(a): DBLP, k=10 ---\n");
+    for (double p : permilles) {
+      double r = ResolveThresholdPermille(dblp, p);
+      char label[32];
+      std::snprintf(label, sizeof(label), "r=top%gpm", p);
+      RunPoint(dblp, r, 10, label, env, &report);
+    }
+    report.Finish(env);
+  }
+
+  {
+    FigureReport report("Fig10b", "upper bounds, DBLP, r=top3permille");
+    double r = ResolveThresholdPermille(dblp, 3.0);
+    std::vector<uint32_t> ks = env.quick ? std::vector<uint32_t>{10, 12}
+                                         : std::vector<uint32_t>{10, 11, 12,
+                                                                 13, 14};
+    std::printf("--- Fig 10(b): DBLP, r=top 3 permille (%.4f) ---\n", r);
+    for (uint32_t k : ks) {
+      char label[32];
+      std::snprintf(label, sizeof(label), "k=%u", k);
+      RunPoint(dblp, r, k, label, env, &report);
+    }
+    report.Finish(env);
+  }
+  return 0;
+}

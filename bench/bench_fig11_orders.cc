@@ -1,0 +1,229 @@
+// Regenerates Figure 11: search-order evaluation.
+//   (a) lambda tuning for AdvMax on DBLP (k=15, r=top 3 permille) and
+//       Gowalla (k=5, r=30 km — regime-equivalent of the paper 100 km).
+//   (b) branch order for AdvMax on DBLP (Expand / Shrink / adaptive).
+//   (c) vertex orders for AdvMax on DBLP (Random / Degree / D2 / D1 /
+//       D1-then-D2 / lambda*D1-D2).
+//   (d) vertex orders for AdvEnum on Gowalla, r in 1..5 km
+//       (Random / Degree / D1-then-D2).
+//   (e) vertex orders for AdvEnum on Gowalla, r in 10..200 km
+//       (D1 / lambda*D1-D2 / D1-then-D2).
+//   (f) orders for the maximal check on Gowalla (lambda*D1-D2 /
+//       D1-then-D2 / Degree).
+//
+// Usage: bench_fig11_orders [--scale=] [--timeout=] [--quick] [--csv=]
+
+#include <cstdio>
+#include <vector>
+
+#include "bench_support/experiment.h"
+#include "bench_support/variants.h"
+#include "util/options.h"
+
+using namespace krcore;
+
+namespace {
+
+struct NamedOrder {
+  const char* name;
+  VertexOrder order;
+};
+
+Measurement RunMax(const Dataset& dataset, double r, uint32_t k,
+                   const std::string& series, const std::string& x_label,
+                   const ExperimentEnv& env, VertexOrder order,
+                   BranchOrder branch, double lambda) {
+  SimilarityOracle oracle = dataset.MakeOracle(r);
+  MaxOptions opts = MakeMaxVariant("AdvMax", k, env.timeout_seconds);
+  opts.order = order;
+  opts.branch_order = branch;
+  opts.lambda = lambda;
+  auto result = FindMaximumCore(dataset.graph, oracle, opts);
+  return MeasureMax(series, x_label, result);
+}
+
+Measurement RunEnum(const Dataset& dataset, double r, uint32_t k,
+                    const std::string& series, const std::string& x_label,
+                    const ExperimentEnv& env, VertexOrder order,
+                    VertexOrder check_order) {
+  SimilarityOracle oracle = dataset.MakeOracle(r);
+  EnumOptions opts = MakeEnumVariant("AdvEnum", k, env.timeout_seconds);
+  opts.order = order;
+  opts.maximal_check_order = check_order;
+  auto result = EnumerateMaximalCores(dataset.graph, oracle, opts);
+  return MeasureEnum(series, x_label, result);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  OptionParser options(argc, argv);
+  auto env = ExperimentEnv::FromOptions(options);
+
+  const Dataset& dblp = GetDataset("dblp", env);
+  const Dataset& gowalla = GetDataset("gowalla", env);
+  double dblp_r3 = ResolveThresholdPermille(dblp, 3.0);
+
+  // ---- (a) lambda tuning --------------------------------------------------
+  {
+    FigureReport report("Fig11a", "lambda tuning for AdvMax");
+    std::vector<double> lambdas =
+        env.quick ? std::vector<double>{2, 5, 10}
+                  : std::vector<double>{2, 3, 4, 5, 6, 7, 8, 9, 10};
+    std::printf("--- Fig 11(a): lambda tuning ---\n");
+    for (double lambda : lambdas) {
+      char label[32];
+      std::snprintf(label, sizeof(label), "lambda=%g", lambda);
+      auto m1 = RunMax(dblp, dblp_r3, 15, "DBLP k=15", label, env,
+                       VertexOrder::kLambdaCombo, BranchOrder::kAdaptive,
+                       lambda);
+      auto m2 = RunMax(gowalla, 30.0, 5, "Gowalla k=5", label, env,
+                       VertexOrder::kLambdaCombo, BranchOrder::kAdaptive,
+                       lambda);
+      std::printf("%-12s DBLP=%-9s Gowalla=%-9s\n", label,
+                  m1.TimeString().c_str(), m2.TimeString().c_str());
+      report.Add(std::move(m1));
+      report.Add(std::move(m2));
+    }
+    report.Finish(env);
+  }
+
+  // ---- (b) branch order ---------------------------------------------------
+  {
+    FigureReport report("Fig11b", "branch order for AdvMax, DBLP");
+    std::vector<uint32_t> ks = env.quick ? std::vector<uint32_t>{5, 7}
+                                         : std::vector<uint32_t>{3, 4, 5, 6,
+                                                                 7};
+    struct {
+      const char* name;
+      BranchOrder order;
+    } branches[] = {{"Expand", BranchOrder::kExpandFirst},
+                    {"Shrink", BranchOrder::kShrinkFirst},
+                    {"AdvMax", BranchOrder::kAdaptive}};
+    std::printf("--- Fig 11(b): branch order, DBLP r=top3pm ---\n");
+    for (uint32_t k : ks) {
+      char label[32];
+      std::snprintf(label, sizeof(label), "k=%u", k);
+      std::printf("%-8s", label);
+      for (const auto& b : branches) {
+        auto m = RunMax(dblp, dblp_r3, k, b.name, label, env,
+                        VertexOrder::kLambdaCombo, b.order, 5.0);
+        std::printf(" %s=%-9s", b.name, m.TimeString().c_str());
+        report.Add(std::move(m));
+      }
+      std::printf("\n");
+    }
+    report.Finish(env);
+  }
+
+  // ---- (c) vertex orders for AdvMax ---------------------------------------
+  {
+    FigureReport report("Fig11c", "vertex orders for AdvMax, DBLP");
+    std::vector<uint32_t> ks = env.quick ? std::vector<uint32_t>{5, 7}
+                                         : std::vector<uint32_t>{3, 4, 5, 6,
+                                                                 7};
+    const NamedOrder orders[] = {
+        {"Random", VertexOrder::kRandom},
+        {"Degree", VertexOrder::kDegree},
+        {"D2", VertexOrder::kDelta2},
+        {"D1", VertexOrder::kDelta1},
+        {"D1-then-D2", VertexOrder::kDelta1ThenDelta2},
+        {"lD1-D2", VertexOrder::kLambdaCombo},
+    };
+    std::printf("--- Fig 11(c): vertex orders for AdvMax, DBLP ---\n");
+    for (uint32_t k : ks) {
+      char label[32];
+      std::snprintf(label, sizeof(label), "k=%u", k);
+      std::printf("%-8s", label);
+      for (const auto& o : orders) {
+        auto m = RunMax(dblp, dblp_r3, k, o.name, label, env, o.order,
+                        BranchOrder::kAdaptive, 5.0);
+        std::printf(" %s=%-9s", o.name, m.TimeString().c_str());
+        report.Add(std::move(m));
+      }
+      std::printf("\n");
+    }
+    report.Finish(env);
+  }
+
+  // ---- (d) enumeration orders, tight radii ---------------------------------
+  {
+    FigureReport report("Fig11d", "enum orders (tight r), Gowalla k=5");
+    std::vector<double> rs = env.quick ? std::vector<double>{1, 5}
+                                       : std::vector<double>{1, 2, 3, 4, 5};
+    const NamedOrder orders[] = {
+        {"Random", VertexOrder::kRandom},
+        {"Degree", VertexOrder::kDegree},
+        {"D1-then-D2", VertexOrder::kDelta1ThenDelta2},
+    };
+    std::printf("--- Fig 11(d): enum orders, Gowalla k=5, r=1..5km ---\n");
+    for (double r : rs) {
+      char label[32];
+      std::snprintf(label, sizeof(label), "r=%gkm", r);
+      std::printf("%-10s", label);
+      for (const auto& o : orders) {
+        auto m = RunEnum(gowalla, r, 5, o.name, label, env, o.order,
+                         VertexOrder::kDelta1ThenDelta2);
+        std::printf(" %s=%-9s", o.name, m.TimeString().c_str());
+        report.Add(std::move(m));
+      }
+      std::printf("\n");
+    }
+    report.Finish(env);
+  }
+
+  // ---- (e) enumeration orders, loose radii ---------------------------------
+  {
+    FigureReport report("Fig11e", "enum orders (loose r), Gowalla k=5");
+    std::vector<double> rs = env.quick ? std::vector<double>{10, 100}
+                                       : std::vector<double>{10, 50, 100, 150,
+                                                             200};
+    const NamedOrder orders[] = {
+        {"D1", VertexOrder::kDelta1},
+        {"lD1-D2", VertexOrder::kLambdaCombo},
+        {"D1-then-D2", VertexOrder::kDelta1ThenDelta2},
+    };
+    std::printf("--- Fig 11(e): enum orders, Gowalla k=5, r=10..200km ---\n");
+    for (double r : rs) {
+      char label[32];
+      std::snprintf(label, sizeof(label), "r=%gkm", r);
+      std::printf("%-10s", label);
+      for (const auto& o : orders) {
+        auto m = RunEnum(gowalla, r, 5, o.name, label, env, o.order,
+                         VertexOrder::kDelta1ThenDelta2);
+        std::printf(" %s=%-9s", o.name, m.TimeString().c_str());
+        report.Add(std::move(m));
+      }
+      std::printf("\n");
+    }
+    report.Finish(env);
+  }
+
+  // ---- (f) maximal-check orders --------------------------------------------
+  {
+    FigureReport report("Fig11f", "maximal check orders, Gowalla k=5");
+    std::vector<double> rs = env.quick ? std::vector<double>{10, 100}
+                                       : std::vector<double>{10, 50, 100, 150,
+                                                             200};
+    const NamedOrder orders[] = {
+        {"lD1-D2", VertexOrder::kLambdaCombo},
+        {"D1-then-D2", VertexOrder::kDelta1ThenDelta2},
+        {"Degree", VertexOrder::kDegree},
+    };
+    std::printf("--- Fig 11(f): maximal-check orders, Gowalla k=5 ---\n");
+    for (double r : rs) {
+      char label[32];
+      std::snprintf(label, sizeof(label), "r=%gkm", r);
+      std::printf("%-10s", label);
+      for (const auto& o : orders) {
+        auto m = RunEnum(gowalla, r, 5, o.name, label, env,
+                         VertexOrder::kDelta1ThenDelta2, o.order);
+        std::printf(" %s=%-9s", o.name, m.TimeString().c_str());
+        report.Add(std::move(m));
+      }
+      std::printf("\n");
+    }
+    report.Finish(env);
+  }
+  return 0;
+}

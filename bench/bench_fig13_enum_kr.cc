@@ -1,0 +1,73 @@
+// Regenerates Figure 13: effect of k and r on the enumeration algorithms.
+// Series: AdvEnum-O, AdvEnum-P, AdvEnum.
+//   (a) Gowalla, r=10 km (regime-equivalent of the paper 100 km), k in 5..10.
+//   (b) DBLP, k=15, r = top 1..15 permille (time grows as r loosens).
+//
+// Usage: bench_fig13_enum_kr [--scale=] [--timeout=] [--quick] [--csv=]
+
+#include <cstdio>
+#include <vector>
+
+#include "bench_support/experiment.h"
+#include "bench_support/variants.h"
+#include "util/options.h"
+
+using namespace krcore;
+
+namespace {
+
+const char* kVariants[] = {"AdvEnum-O", "AdvEnum-P", "AdvEnum"};
+
+void RunPoint(const Dataset& dataset, double r, uint32_t k,
+              const std::string& x_label, const ExperimentEnv& env,
+              FigureReport* report) {
+  SimilarityOracle oracle = dataset.MakeOracle(r);
+  std::printf("%-12s", x_label.c_str());
+  for (const char* variant : kVariants) {
+    EnumOptions opts = MakeEnumVariant(variant, k, env.timeout_seconds);
+    auto result = EnumerateMaximalCores(dataset.graph, oracle, opts);
+    Measurement m = MeasureEnum(variant, x_label, result);
+    std::printf(" %s=%-9s", variant, m.TimeString().c_str());
+    report->Add(std::move(m));
+  }
+  std::printf("\n");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  OptionParser options(argc, argv);
+  auto env = ExperimentEnv::FromOptions(options);
+
+  {
+    FigureReport report("Fig13a", "effect of k (enumeration), Gowalla r=10km");
+    const Dataset& gowalla = GetDataset("gowalla", env);
+    std::vector<uint32_t> ks = env.quick ? std::vector<uint32_t>{5, 8}
+                                         : std::vector<uint32_t>{5, 6, 7, 8,
+                                                                 9, 10};
+    std::printf("--- Fig 13(a): Gowalla, r=10km (regime-equivalent of the paper 100km) ---\n");
+    for (uint32_t k : ks) {
+      char label[32];
+      std::snprintf(label, sizeof(label), "k=%u", k);
+      RunPoint(gowalla, 10.0, k, label, env, &report);
+    }
+    report.Finish(env);
+  }
+
+  {
+    FigureReport report("Fig13b", "effect of r (enumeration), DBLP k=15");
+    const Dataset& dblp = GetDataset("dblp", env);
+    std::vector<double> permilles =
+        env.quick ? std::vector<double>{1, 5}
+                  : std::vector<double>{1, 3, 5, 7, 9, 11, 13, 15};
+    std::printf("--- Fig 13(b): DBLP, k=15 ---\n");
+    for (double p : permilles) {
+      double r = ResolveThresholdPermille(dblp, p);
+      char label[32];
+      std::snprintf(label, sizeof(label), "r=top%gpm", p);
+      RunPoint(dblp, r, 15, label, env, &report);
+    }
+    report.Finish(env);
+  }
+  return 0;
+}

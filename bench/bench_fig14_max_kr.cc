@@ -1,0 +1,74 @@
+// Regenerates Figure 14: effect of k and r on the maximum algorithms.
+// Series: AdvMax-O, AdvMax-UB, AdvMax.
+//   (a) Gowalla, r=100 km, k in 5..10.
+//   (b) DBLP, k=15, r = top 1..15 permille.
+//
+// Usage: bench_fig14_max_kr [--scale=] [--timeout=] [--quick] [--csv=]
+
+#include <cstdio>
+#include <vector>
+
+#include "bench_support/experiment.h"
+#include "bench_support/variants.h"
+#include "util/options.h"
+
+using namespace krcore;
+
+namespace {
+
+const char* kVariants[] = {"AdvMax-O", "AdvMax-UB", "AdvMax"};
+
+void RunPoint(const Dataset& dataset, double r, uint32_t k,
+              const std::string& x_label, const ExperimentEnv& env,
+              FigureReport* report) {
+  SimilarityOracle oracle = dataset.MakeOracle(r);
+  std::printf("%-12s", x_label.c_str());
+  for (const char* variant : kVariants) {
+    MaxOptions opts = MakeMaxVariant(variant, k, env.timeout_seconds);
+    auto result = FindMaximumCore(dataset.graph, oracle, opts);
+    Measurement m = MeasureMax(variant, x_label, result);
+    std::printf(" %s=%-9s(|max|=%llu)", variant, m.TimeString().c_str(),
+                (unsigned long long)m.result_count);
+    report->Add(std::move(m));
+  }
+  std::printf("\n");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  OptionParser options(argc, argv);
+  auto env = ExperimentEnv::FromOptions(options);
+
+  {
+    FigureReport report("Fig14a", "effect of k (maximum), Gowalla r=30km");
+    const Dataset& gowalla = GetDataset("gowalla", env);
+    std::vector<uint32_t> ks = env.quick ? std::vector<uint32_t>{5, 8}
+                                         : std::vector<uint32_t>{5, 6, 7, 8,
+                                                                 9, 10};
+    std::printf("--- Fig 14(a): Gowalla, r=30km (regime-equivalent of the paper 100km) ---\n");
+    for (uint32_t k : ks) {
+      char label[32];
+      std::snprintf(label, sizeof(label), "k=%u", k);
+      RunPoint(gowalla, 30.0, k, label, env, &report);
+    }
+    report.Finish(env);
+  }
+
+  {
+    FigureReport report("Fig14b", "effect of r (maximum), DBLP k=15");
+    const Dataset& dblp = GetDataset("dblp", env);
+    std::vector<double> permilles =
+        env.quick ? std::vector<double>{1, 5}
+                  : std::vector<double>{1, 3, 5, 7, 9, 11, 13, 15};
+    std::printf("--- Fig 14(b): DBLP, k=15 ---\n");
+    for (double p : permilles) {
+      double r = ResolveThresholdPermille(dblp, p);
+      char label[32];
+      std::snprintf(label, sizeof(label), "r=top%gpm", p);
+      RunPoint(dblp, r, 15, label, env, &report);
+    }
+    report.Finish(env);
+  }
+  return 0;
+}

@@ -1,0 +1,69 @@
+// Regenerates Figure 7: (k,r)-core statistics.
+//   (a) Gowalla, k=5, r in 10..200 km: #(k,r)-cores, maximum size, average
+//       size of the maximal (k,r)-cores.
+//   (b) DBLP, r = top 3 permille, k in 6..10.
+//
+// Usage: bench_fig7_statistics [--scale=] [--timeout=] [--quick] [--csv=]
+
+#include <cstdio>
+#include <vector>
+
+#include "bench_support/experiment.h"
+#include "bench_support/variants.h"
+#include "util/options.h"
+
+using namespace krcore;
+
+namespace {
+
+void RunPoint(const Dataset& dataset, double r, uint32_t k,
+              const std::string& x_label, const ExperimentEnv& env,
+              FigureReport* report) {
+  SimilarityOracle oracle = dataset.MakeOracle(r);
+  EnumOptions opts = MakeEnumVariant("AdvEnum", k, env.timeout_seconds);
+  auto result = EnumerateMaximalCores(dataset.graph, oracle, opts);
+  Measurement m = MeasureEnum("AdvEnum", x_label, result);
+  std::printf("%-14s #cores=%-6llu max=%-5llu avg=%-7.1f (%s)\n",
+              x_label.c_str(), (unsigned long long)m.result_count,
+              (unsigned long long)m.result_size_max, m.result_size_avg,
+              m.TimeString().c_str());
+  report->Add(std::move(m));
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  OptionParser options(argc, argv);
+  auto env = ExperimentEnv::FromOptions(options);
+
+  {
+    FigureReport report("Fig7a", "(k,r)-core statistics, Gowalla, k=5");
+    const Dataset& gowalla = GetDataset("gowalla", env);
+    std::vector<double> rs = env.quick ? std::vector<double>{10, 100}
+                                       : std::vector<double>{10, 50, 100, 150,
+                                                             200};
+    std::printf("--- Fig 7(a): Gowalla, k=5 ---\n");
+    for (double r : rs) {
+      char label[32];
+      std::snprintf(label, sizeof(label), "r=%gkm", r);
+      RunPoint(gowalla, r, 5, label, env, &report);
+    }
+    report.Finish(env);
+  }
+
+  {
+    FigureReport report("Fig7b", "(k,r)-core statistics, DBLP, r=top3permille");
+    const Dataset& dblp = GetDataset("dblp", env);
+    double r = ResolveThresholdPermille(dblp, 3.0);
+    std::vector<uint32_t> ks =
+        env.quick ? std::vector<uint32_t>{8, 10} : std::vector<uint32_t>{6, 7, 8, 9, 10};
+    std::printf("--- Fig 7(b): DBLP, r=top 3 permille (%.4f) ---\n", r);
+    for (uint32_t k : ks) {
+      char label[32];
+      std::snprintf(label, sizeof(label), "k=%u", k);
+      RunPoint(dblp, r, k, label, env, &report);
+    }
+    report.Finish(env);
+  }
+  return 0;
+}

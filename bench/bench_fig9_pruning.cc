@@ -1,0 +1,74 @@
+// Regenerates Figure 9: incremental value of the pruning techniques.
+// Series: BasicEnum -> BE+CR (candidate retention, Thm 4) -> BE+CR+ET
+// (early termination, Thm 5) -> AdvEnum (maximal check, Thm 6).
+//   (a) Gowalla, k=5, r in 10..200 km.
+//   (b) DBLP, r = top 3 permille, k in 6..10.
+//
+// Usage: bench_fig9_pruning [--scale=] [--timeout=] [--quick] [--csv=]
+
+#include <cstdio>
+#include <vector>
+
+#include "bench_support/experiment.h"
+#include "bench_support/variants.h"
+#include "util/options.h"
+
+using namespace krcore;
+
+namespace {
+
+const char* kVariants[] = {"BasicEnum", "BE+CR", "BE+CR+ET", "AdvEnum"};
+
+void RunPoint(const Dataset& dataset, double r, uint32_t k,
+              const std::string& x_label, const ExperimentEnv& env,
+              FigureReport* report) {
+  SimilarityOracle oracle = dataset.MakeOracle(r);
+  std::printf("%-12s", x_label.c_str());
+  for (const char* variant : kVariants) {
+    EnumOptions opts = MakeEnumVariant(variant, k, env.timeout_seconds);
+    auto result = EnumerateMaximalCores(dataset.graph, oracle, opts);
+    Measurement m = MeasureEnum(variant, x_label, result);
+    std::printf(" %s=%-9s", variant, m.TimeString().c_str());
+    report->Add(std::move(m));
+  }
+  std::printf("\n");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  OptionParser options(argc, argv);
+  auto env = ExperimentEnv::FromOptions(options);
+
+  {
+    FigureReport report("Fig9a", "pruning techniques, Gowalla, k=5");
+    const Dataset& gowalla = GetDataset("gowalla", env);
+    std::vector<double> rs = env.quick ? std::vector<double>{10, 100}
+                                       : std::vector<double>{10, 50, 100, 150,
+                                                             200};
+    std::printf("--- Fig 9(a): Gowalla, k=5 ---\n");
+    for (double r : rs) {
+      char label[32];
+      std::snprintf(label, sizeof(label), "r=%gkm", r);
+      RunPoint(gowalla, r, 5, label, env, &report);
+    }
+    report.Finish(env);
+  }
+
+  {
+    FigureReport report("Fig9b", "pruning techniques, DBLP, r=top3permille");
+    const Dataset& dblp = GetDataset("dblp", env);
+    double r = ResolveThresholdPermille(dblp, 3.0);
+    std::vector<uint32_t> ks = env.quick ? std::vector<uint32_t>{8, 10}
+                                         : std::vector<uint32_t>{6, 7, 8, 9,
+                                                                 10};
+    std::printf("--- Fig 9(b): DBLP, r=top 3 permille (%.4f) ---\n", r);
+    for (uint32_t k : ks) {
+      char label[32];
+      std::snprintf(label, sizeof(label), "k=%u", k);
+      RunPoint(dblp, r, k, label, env, &report);
+    }
+    report.Finish(env);
+  }
+  return 0;
+}

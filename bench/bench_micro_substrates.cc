@@ -1,0 +1,128 @@
+// Google-benchmark microbenchmarks for the substrate layers: k-core
+// decomposition, similarity metrics, maximal clique enumeration, greedy
+// coloring and the (k,k')-core bound building blocks.
+
+#include <benchmark/benchmark.h>
+
+#include "clique/bron_kerbosch.h"
+#include "coloring/greedy_coloring.h"
+#include "datasets/generators.h"
+#include "kcore/core_decomposition.h"
+#include "similarity/metrics.h"
+#include "similarity/threshold.h"
+#include "util/random.h"
+
+namespace krcore {
+namespace {
+
+const Dataset& SharedGeo() {
+  static Dataset* d = [] {
+    GeoSocialConfig c;
+    c.num_vertices = 8000;
+    c.seed = 99;
+    return new Dataset(MakeGeoSocial(c));
+  }();
+  return *d;
+}
+
+const Dataset& SharedCoAuthor() {
+  static Dataset* d = [] {
+    CoAuthorConfig c;
+    c.num_vertices = 8000;
+    c.seed = 98;
+    return new Dataset(MakeCoAuthor(c));
+  }();
+  return *d;
+}
+
+void BM_CoreDecomposition(benchmark::State& state) {
+  const Graph& g = SharedGeo().graph;
+  for (auto _ : state) {
+    auto core = CoreDecomposition(g);
+    benchmark::DoNotOptimize(core.data());
+  }
+  state.SetItemsProcessed(state.iterations() * g.num_edges());
+}
+BENCHMARK(BM_CoreDecomposition);
+
+void BM_DegeneracyOrdering(benchmark::State& state) {
+  const Graph& g = SharedGeo().graph;
+  for (auto _ : state) {
+    auto order = DegeneracyOrdering(g);
+    benchmark::DoNotOptimize(order.data());
+  }
+}
+BENCHMARK(BM_DegeneracyOrdering);
+
+void BM_GreedyColoring(benchmark::State& state) {
+  const Graph& g = SharedGeo().graph;
+  for (auto _ : state) {
+    auto colors = GreedyColoring(g);
+    benchmark::DoNotOptimize(colors.data());
+  }
+}
+BENCHMARK(BM_GreedyColoring);
+
+void BM_WeightedJaccardPairs(benchmark::State& state) {
+  const Dataset& d = SharedCoAuthor();
+  Rng rng(5);
+  uint64_t n = d.graph.num_vertices();
+  for (auto _ : state) {
+    VertexId u = static_cast<VertexId>(rng.NextBounded(n));
+    VertexId v = static_cast<VertexId>(rng.NextBounded(n));
+    double s = WeightedJaccardSimilarity(d.attributes.vector(u),
+                                         d.attributes.vector(v));
+    benchmark::DoNotOptimize(s);
+  }
+}
+BENCHMARK(BM_WeightedJaccardPairs);
+
+void BM_EuclideanPairs(benchmark::State& state) {
+  const Dataset& d = SharedGeo();
+  Rng rng(6);
+  uint64_t n = d.graph.num_vertices();
+  for (auto _ : state) {
+    VertexId u = static_cast<VertexId>(rng.NextBounded(n));
+    VertexId v = static_cast<VertexId>(rng.NextBounded(n));
+    double s = EuclideanDistance(d.attributes.point(u), d.attributes.point(v));
+    benchmark::DoNotOptimize(s);
+  }
+}
+BENCHMARK(BM_EuclideanPairs);
+
+void BM_TopPermilleCalibration(benchmark::State& state) {
+  const Dataset& d = SharedCoAuthor();
+  SimilarityOracle probe = d.MakeOracle(0.0);
+  for (auto _ : state) {
+    double r = TopPermilleThreshold(probe, d.graph.num_vertices(), 3.0,
+                                    /*num_samples=*/50000);
+    benchmark::DoNotOptimize(r);
+  }
+}
+BENCHMARK(BM_TopPermilleCalibration);
+
+void BM_MaximalCliques(benchmark::State& state) {
+  // Clique enumeration on a moderately dense random graph.
+  RandomAttributedConfig c;
+  c.num_vertices = 300;
+  c.num_edges = 4000;
+  c.seed = 77;
+  Dataset d = MakeRandomAttributed(c);
+  for (auto _ : state) {
+    size_t count = 0;
+    CliqueOptions opts;
+    Status s = EnumerateMaximalCliques(
+        d.graph, opts, [&count](const std::vector<VertexId>&) {
+          ++count;
+          return true;
+        });
+    benchmark::DoNotOptimize(count);
+    benchmark::DoNotOptimize(&s);
+  }
+}
+BENCHMARK(BM_MaximalCliques);
+
+}  // namespace
+}  // namespace krcore
+
+BENCHMARK_MAIN();

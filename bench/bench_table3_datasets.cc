@@ -1,0 +1,30 @@
+// Regenerates Table 3 (dataset statistics): nodes, edges, average degree,
+// max degree for the four paper-analogue datasets.
+//
+// Usage: bench_table3_datasets [--scale=1.0] [--quick] [--seed=1] [--csv=...]
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench_support/experiment.h"
+#include "util/options.h"
+
+int main(int argc, char** argv) {
+  krcore::OptionParser options(argc, argv);
+  auto env = krcore::ExperimentEnv::FromOptions(options);
+
+  std::printf("=== Table 3: Statistics of Datasets (scale=%.2f) ===\n",
+              env.scale);
+  std::printf("%-12s %10s %12s %8s %8s\n", "Dataset", "Nodes", "Edges", "davg",
+              "dmax");
+  for (const std::string name :
+       {"brightkite", "gowalla", "dblp", "pokec"}) {
+    const krcore::Dataset& d = krcore::GetDataset(name, env);
+    std::printf("%-12s %10u %12llu %8.1f %8u\n", d.name.c_str(),
+                d.graph.num_vertices(),
+                static_cast<unsigned long long>(d.graph.num_edges()),
+                d.graph.average_degree(), d.graph.max_degree());
+  }
+  return 0;
+}

@@ -1,0 +1,91 @@
+// Explores the engagement/similarity trade-off that motivates the paper's
+// model (Sec 1): on one dataset, sweep the engagement threshold k and the
+// similarity threshold r and report how the community landscape changes —
+// pure k-cores merge unrelated groups, pure similarity groups are
+// structurally loose, and (k,r)-cores sit in between.
+//
+// Usage: engagement_vs_similarity [--n=6000] [--seed=5]
+
+#include <algorithm>
+#include <cstdio>
+
+#include "core/enumerate.h"
+#include "datasets/generators.h"
+#include "graph/connectivity.h"
+#include "kcore/core_decomposition.h"
+#include "util/options.h"
+
+using namespace krcore;
+
+int main(int argc, char** argv) {
+  OptionParser options(argc, argv);
+  uint32_t n = static_cast<uint32_t>(options.GetInt("n", 6000));
+  uint64_t seed = options.GetInt("seed", 5);
+
+  GeoSocialConfig config;
+  config.num_vertices = n;
+  config.average_degree = 6.0;
+  config.seed = seed;
+  Dataset d = MakeGeoSocial(config, "geo");
+  std::printf("dataset: %s\n\n", d.StatsString().c_str());
+
+  // Engagement only: k-core sizes collapse slowly with k and span the map.
+  std::printf("engagement only (k-core):\n");
+  for (uint32_t k : {4u, 6u, 8u, 10u}) {
+    auto kcore = KCoreVertices(d.graph, k);
+    VertexId num_comps = 0;
+    if (!kcore.empty()) {
+      auto comps = ComponentsOfSubset(d.graph, kcore);
+      num_comps = static_cast<VertexId>(comps.size());
+    }
+    std::printf("  k=%-2u -> %6zu users in %u component(s)\n", k,
+                kcore.size(), num_comps);
+  }
+
+  // Both constraints: sweep r at fixed k and k at fixed r.
+  std::printf("\n(k,r)-cores, k=6, r sweep:\n");
+  std::printf("  %-10s %8s %8s %8s\n", "r (km)", "#cores", "max", "avg");
+  for (double r : {5.0, 20.0, 80.0, 320.0}) {
+    SimilarityOracle oracle = d.MakeOracle(r);
+    EnumOptions opts = AdvEnumOptions(6);
+    opts.deadline = Deadline::AfterSeconds(30.0);
+    auto result = EnumerateMaximalCores(d.graph, oracle, opts);
+    size_t max_size = 0, total = 0;
+    for (const auto& c : result.cores) {
+      max_size = std::max(max_size, c.size());
+      total += c.size();
+    }
+    std::printf("  %-10.0f %8zu %8zu %8.1f%s\n", r, result.cores.size(),
+                max_size,
+                result.cores.empty() ? 0.0
+                                     : static_cast<double>(total) /
+                                           result.cores.size(),
+                result.status.ok() ? "" : "  (timeout)");
+  }
+
+  std::printf("\n(k,r)-cores, r=40km, k sweep:\n");
+  std::printf("  %-10s %8s %8s %8s\n", "k", "#cores", "max", "avg");
+  for (uint32_t k : {4u, 6u, 8u, 10u}) {
+    SimilarityOracle oracle = d.MakeOracle(40.0);
+    EnumOptions opts = AdvEnumOptions(k);
+    opts.deadline = Deadline::AfterSeconds(30.0);
+    auto result = EnumerateMaximalCores(d.graph, oracle, opts);
+    size_t max_size = 0, total = 0;
+    for (const auto& c : result.cores) {
+      max_size = std::max(max_size, c.size());
+      total += c.size();
+    }
+    std::printf("  %-10u %8zu %8zu %8.1f%s\n", k, result.cores.size(),
+                max_size,
+                result.cores.empty() ? 0.0
+                                     : static_cast<double>(total) /
+                                           result.cores.size(),
+                result.status.ok() ? "" : "  (timeout)");
+  }
+
+  std::printf(
+      "\nReading: loose r behaves like a pure k-core (few giant groups);\n"
+      "tight r with small k behaves like a similarity clique (many tiny\n"
+      "groups); the interesting communities appear in between.\n");
+  return 0;
+}

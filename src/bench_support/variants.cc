@@ -1,0 +1,56 @@
+#include "bench_support/variants.h"
+
+#include "util/logging.h"
+
+namespace krcore {
+
+EnumOptions MakeEnumVariant(const std::string& name, uint32_t k,
+                            double timeout_seconds) {
+  EnumOptions o;
+  o.k = k;
+  o.deadline = Deadline::AfterSeconds(timeout_seconds);
+  if (name == "BasicEnum" || name == "AdvEnum-P") {
+    o.use_retention = false;
+    o.use_early_termination = false;
+    o.use_smart_maximal_check = false;
+  } else if (name == "BE+CR") {
+    o.use_retention = true;
+    o.use_early_termination = false;
+    o.use_smart_maximal_check = false;
+  } else if (name == "BE+CR+ET") {
+    o.use_retention = true;
+    o.use_early_termination = true;
+    o.use_smart_maximal_check = false;
+  } else if (name == "AdvEnum") {
+    // All defaults: every technique plus the best order.
+  } else if (name == "AdvEnum-O") {
+    o.order = VertexOrder::kDegree;
+  } else {
+    KRCORE_CHECK(false) << "unknown enum variant: " << name;
+  }
+  return o;
+}
+
+MaxOptions MakeMaxVariant(const std::string& name, uint32_t k,
+                          double timeout_seconds) {
+  MaxOptions o;
+  o.k = k;
+  o.deadline = Deadline::AfterSeconds(timeout_seconds);
+  if (name == "BasicMax" || name == "AdvMax-UB" || name == "|M|+|C|") {
+    o.bound = SizeBoundKind::kNaive;
+  } else if (name == "AdvMax") {
+    o.bound = SizeBoundKind::kDoubleKcore;
+  } else if (name == "AdvMax-O") {
+    o.bound = SizeBoundKind::kDoubleKcore;
+    o.order = VertexOrder::kDegree;
+  } else if (name == "Color+Kcore") {
+    o.bound = SizeBoundKind::kColorPlusKcore;
+  } else if (name == "DoubleKcore") {
+    o.bound = SizeBoundKind::kDoubleKcore;
+  } else {
+    KRCORE_CHECK(false) << "unknown max variant: " << name;
+  }
+  return o;
+}
+
+}  // namespace krcore

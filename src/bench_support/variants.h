@@ -1,0 +1,25 @@
+#ifndef KRCORE_BENCH_SUPPORT_VARIANTS_H_
+#define KRCORE_BENCH_SUPPORT_VARIANTS_H_
+
+#include <string>
+
+#include "core/enumerate.h"
+#include "core/maximum.h"
+
+namespace krcore {
+
+/// Builds EnumOptions for the paper's named enumeration variants:
+/// "BasicEnum", "BE+CR", "BE+CR+ET", "AdvEnum", "AdvEnum-O" (degree order),
+/// "AdvEnum-P" (best order, no advanced pruning).
+EnumOptions MakeEnumVariant(const std::string& name, uint32_t k,
+                            double timeout_seconds);
+
+/// Builds MaxOptions for the paper's named maximum variants:
+/// "BasicMax" / "AdvMax-UB" (naive |M|+|C| bound), "AdvMax",
+/// "AdvMax-O" (degree order), "Color+Kcore", "|M|+|C|".
+MaxOptions MakeMaxVariant(const std::string& name, uint32_t k,
+                          double timeout_seconds);
+
+}  // namespace krcore
+
+#endif  // KRCORE_BENCH_SUPPORT_VARIANTS_H_

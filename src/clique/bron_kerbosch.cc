@@ -1,0 +1,149 @@
+#include "clique/bron_kerbosch.h"
+
+#include <algorithm>
+
+#include "kcore/core_decomposition.h"
+#include "util/logging.h"
+
+namespace krcore {
+namespace {
+
+/// Recursive Bron–Kerbosch with Tomita pivoting. P and X are maintained as
+/// contiguous slices of a shared vertex array to keep allocation pressure
+/// low; `cand` holds P, `excl` holds X.
+class BkEnumerator {
+ public:
+  BkEnumerator(const Graph& g, const CliqueOptions& options,
+               const CliqueCallback& callback)
+      : g_(g), options_(options), callback_(callback) {}
+
+  Status Run() {
+    // Outer loop over a degeneracy ordering: vertex v is expanded with
+    // P = later neighbors, X = earlier neighbors. Bounds recursion depth by
+    // the degeneracy and avoids rediscovering cliques.
+    auto order = DegeneracyOrdering(g_);
+    std::vector<VertexId> rank(g_.num_vertices());
+    for (VertexId i = 0; i < order.size(); ++i) rank[order[i]] = i;
+
+    for (VertexId v : order) {
+      std::vector<VertexId> cand, excl;
+      for (VertexId w : g_.neighbors(v)) {
+        (rank[w] > rank[v] ? cand : excl).push_back(w);
+      }
+      current_.assign(1, v);
+      Status s = Expand(cand, excl);
+      if (!s.ok()) return s;
+      if (stopped_) break;
+    }
+    return Status::OK();
+  }
+
+ private:
+  Status Expand(std::vector<VertexId> cand, std::vector<VertexId> excl) {
+    if ((steps_++ & 0x3FF) == 0 && options_.deadline.Expired()) {
+      return Status::DeadlineExceeded("clique enumeration budget expired");
+    }
+    if (cand.empty() && excl.empty()) {
+      if (current_.size() >= options_.min_size) {
+        std::vector<VertexId> clique = current_;
+        std::sort(clique.begin(), clique.end());
+        if (!callback_(clique)) stopped_ = true;
+      }
+      return Status::OK();
+    }
+
+    // Tomita pivot: the vertex of cand ∪ excl with most neighbors in cand.
+    VertexId pivot = kInvalidVertex;
+    size_t best = 0;
+    auto CountInCand = [&](VertexId u) {
+      size_t c = 0;
+      for (VertexId w : g_.neighbors(u)) {
+        if (std::binary_search(cand.begin(), cand.end(), w)) ++c;
+      }
+      return c;
+    };
+    std::sort(cand.begin(), cand.end());
+    for (VertexId u : cand) {
+      size_t c = CountInCand(u);
+      if (pivot == kInvalidVertex || c > best) {
+        pivot = u;
+        best = c;
+      }
+    }
+    for (VertexId u : excl) {
+      size_t c = CountInCand(u);
+      if (pivot == kInvalidVertex || c > best) {
+        pivot = u;
+        best = c;
+      }
+    }
+
+    // Branch on cand \ N(pivot).
+    std::vector<VertexId> branch;
+    for (VertexId u : cand) {
+      if (!g_.HasEdge(pivot, u)) branch.push_back(u);
+    }
+    for (VertexId u : branch) {
+      if (stopped_) break;
+      std::vector<VertexId> next_cand, next_excl;
+      for (VertexId w : cand) {
+        if (w != u && g_.HasEdge(u, w)) next_cand.push_back(w);
+      }
+      for (VertexId w : excl) {
+        if (g_.HasEdge(u, w)) next_excl.push_back(w);
+      }
+      current_.push_back(u);
+      Status s = Expand(std::move(next_cand), std::move(next_excl));
+      current_.pop_back();
+      if (!s.ok()) return s;
+
+      // Move u from cand to excl.
+      cand.erase(std::find(cand.begin(), cand.end(), u));
+      excl.push_back(u);
+    }
+    return Status::OK();
+  }
+
+  const Graph& g_;
+  const CliqueOptions& options_;
+  const CliqueCallback& callback_;
+  std::vector<VertexId> current_;
+  uint64_t steps_ = 0;
+  bool stopped_ = false;
+};
+
+}  // namespace
+
+Status EnumerateMaximalCliques(const Graph& g, const CliqueOptions& options,
+                               const CliqueCallback& callback) {
+  if (g.num_vertices() == 0) return Status::OK();
+  BkEnumerator enumerator(g, options, callback);
+  return enumerator.Run();
+}
+
+std::vector<std::vector<VertexId>> AllMaximalCliques(const Graph& g) {
+  std::vector<std::vector<VertexId>> cliques;
+  CliqueOptions options;
+  Status s = EnumerateMaximalCliques(
+      g, options, [&cliques](const std::vector<VertexId>& c) {
+        cliques.push_back(c);
+        return true;
+      });
+  KRCORE_CHECK(s.ok()) << s.ToString();
+  std::sort(cliques.begin(), cliques.end());
+  return cliques;
+}
+
+size_t MaximumCliqueSize(const Graph& g) {
+  size_t best = 0;
+  CliqueOptions options;
+  Status s = EnumerateMaximalCliques(
+      g, options, [&best](const std::vector<VertexId>& c) {
+        best = std::max(best, c.size());
+        return true;
+      });
+  KRCORE_CHECK(s.ok()) << s.ToString();
+  return best;
+}
+
+}  // namespace krcore

@@ -1,0 +1,42 @@
+#ifndef KRCORE_CLIQUE_BRON_KERBOSCH_H_
+#define KRCORE_CLIQUE_BRON_KERBOSCH_H_
+
+#include <functional>
+#include <vector>
+
+#include "graph/graph.h"
+#include "util/status.h"
+#include "util/timer.h"
+
+namespace krcore {
+
+/// Callback invoked once per maximal clique (vertices sorted ascending).
+/// Return false to stop the enumeration early.
+using CliqueCallback = std::function<bool(const std::vector<VertexId>&)>;
+
+/// Options for the maximal clique enumerator.
+struct CliqueOptions {
+  /// Only report cliques with at least this many vertices (maximality is
+  /// still with respect to the whole graph).
+  size_t min_size = 1;
+  /// Abort with DeadlineExceeded when the budget expires.
+  Deadline deadline;
+};
+
+/// Enumerates all maximal cliques of `g` with the Bron–Kerbosch algorithm
+/// using Tomita-style pivoting on an outer degeneracy ordering — the standard
+/// output-sensitive approach, equivalent in role to the maximal clique
+/// enumerator of [25] used by the paper's Clique+ baseline.
+Status EnumerateMaximalCliques(const Graph& g, const CliqueOptions& options,
+                               const CliqueCallback& callback);
+
+/// Convenience: materializes all maximal cliques (small graphs / tests).
+std::vector<std::vector<VertexId>> AllMaximalCliques(const Graph& g);
+
+/// Size of a maximum clique (exact; exponential worst case — used by tests
+/// and by upper-bound validation on small graphs).
+size_t MaximumCliqueSize(const Graph& g);
+
+}  // namespace krcore
+
+#endif  // KRCORE_CLIQUE_BRON_KERBOSCH_H_

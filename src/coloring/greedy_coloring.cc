@@ -1,0 +1,53 @@
+#include "coloring/greedy_coloring.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include "util/logging.h"
+
+namespace krcore {
+
+std::vector<uint32_t> GreedyColoring(const Graph& g) {
+  const VertexId n = g.num_vertices();
+  std::vector<VertexId> order(n);
+  std::iota(order.begin(), order.end(), 0);
+  std::stable_sort(order.begin(), order.end(), [&g](VertexId a, VertexId b) {
+    return g.degree(a) > g.degree(b);
+  });
+
+  constexpr uint32_t kUncolored = static_cast<uint32_t>(-1);
+  std::vector<uint32_t> color(n, kUncolored);
+  std::vector<char> used(n + 1, 0);
+  for (VertexId u : order) {
+    uint32_t max_mark = 0;
+    for (VertexId v : g.neighbors(u)) {
+      if (color[v] != kUncolored) {
+        used[color[v]] = 1;
+        max_mark = std::max(max_mark, color[v] + 1);
+      }
+    }
+    uint32_t c = 0;
+    while (used[c]) ++c;
+    color[u] = c;
+    for (uint32_t i = 0; i <= max_mark; ++i) used[i] = 0;
+  }
+  return color;
+}
+
+uint32_t GreedyColorCount(const Graph& g) {
+  if (g.num_vertices() == 0) return 0;
+  auto colors = GreedyColoring(g);
+  return 1 + *std::max_element(colors.begin(), colors.end());
+}
+
+bool IsProperColoring(const Graph& g, const std::vector<uint32_t>& colors) {
+  KRCORE_CHECK(colors.size() == g.num_vertices());
+  for (VertexId u = 0; u < g.num_vertices(); ++u) {
+    for (VertexId v : g.neighbors(u)) {
+      if (colors[u] == colors[v]) return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace krcore

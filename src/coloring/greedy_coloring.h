@@ -1,0 +1,25 @@
+#ifndef KRCORE_COLORING_GREEDY_COLORING_H_
+#define KRCORE_COLORING_GREEDY_COLORING_H_
+
+#include <vector>
+
+#include "graph/graph.h"
+
+namespace krcore {
+
+/// Greedy proper coloring in largest-degree-first (Welsh–Powell) order.
+/// Returns the color of each vertex; the number of colors used is
+/// 1 + max(color). Any proper coloring's color count upper-bounds the
+/// maximum clique size, which is how the color-based (k,r)-core size bound
+/// of [31] (Sec 6.2 of the paper) uses it.
+std::vector<uint32_t> GreedyColoring(const Graph& g);
+
+/// Number of colors used by GreedyColoring (0 for the empty graph).
+uint32_t GreedyColorCount(const Graph& g);
+
+/// Validates that `colors` is a proper coloring of g.
+bool IsProperColoring(const Graph& g, const std::vector<uint32_t>& colors);
+
+}  // namespace krcore
+
+#endif  // KRCORE_COLORING_GREEDY_COLORING_H_

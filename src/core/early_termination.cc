@@ -1,0 +1,103 @@
+#include "core/early_termination.h"
+
+#include "util/logging.h"
+
+namespace krcore {
+
+EarlyTerminationChecker::EarlyTerminationChecker(const ComponentContext& comp)
+    : comp_(comp),
+      role_(comp.size(), 0),
+      deg_(comp.size(), 0),
+      seen_(comp.size(), 0) {}
+
+bool EarlyTerminationChecker::CanTerminate(const SearchContext& ctx) {
+  const VertexList& e_list = ctx.e_list();
+  if (e_list.empty()) return false;
+
+  // Condition (i): one scan of E.
+  for (VertexId u = e_list.First(); u != kInvalidVertex; u = e_list.Next(u)) {
+    if (ctx.dp_c(u) == 0 && ctx.deg_m(u) >= ctx.k()) return true;
+  }
+
+  // Condition (ii): anchored peel of SF_{C∪E}(E) with M pinned.
+  candidates_.clear();
+  for (VertexId u = e_list.First(); u != kInvalidVertex; u = e_list.Next(u)) {
+    if (ctx.dp_c(u) == 0 && ctx.dp_e(u) == 0) candidates_.push_back(u);
+  }
+  if (candidates_.empty()) return false;
+  if (ctx.m_list().empty()) return false;  // nothing to extend (see header)
+
+  for (VertexId u : candidates_) role_[u] = 1;
+  for (VertexId u = ctx.m_list().First(); u != kInvalidVertex;
+       u = ctx.m_list().Next(u)) {
+    role_[u] = 2;
+  }
+
+  worklist_.clear();
+  for (VertexId u : candidates_) {
+    uint32_t d = 0;
+    for (VertexId v : comp_.graph.neighbors(u)) {
+      if (role_[v] != 0) ++d;
+    }
+    deg_[u] = d;
+    if (d < ctx.k()) worklist_.push_back(u);
+  }
+  size_t peeled = 0;
+  for (size_t head = 0; head < worklist_.size(); ++head) {
+    VertexId u = worklist_[head];
+    if (role_[u] != 1) continue;
+    role_[u] = 0;
+    ++peeled;
+    for (VertexId v : comp_.graph.neighbors(u)) {
+      if (role_[v] == 1 && deg_[v]-- == ctx.k()) worklist_.push_back(v);
+    }
+  }
+  if (peeled == candidates_.size()) {
+    // Nothing survived the structure peel; skip the connectivity pass.
+    for (VertexId u = ctx.m_list().First(); u != kInvalidVertex;
+         u = ctx.m_list().Next(u)) {
+      role_[u] = 0;
+    }
+    return false;
+  }
+
+  // Keep only survivors connected to M within M ∪ U; survivor components
+  // detached from M cannot extend a core containing M.
+  ++epoch_;
+  stack_.clear();
+  for (VertexId u = ctx.m_list().First(); u != kInvalidVertex;
+       u = ctx.m_list().Next(u)) {
+    seen_[u] = epoch_;
+    stack_.push_back(u);
+  }
+  bool found = false;
+  while (!stack_.empty() && !found) {
+    VertexId u = stack_.back();
+    stack_.pop_back();
+    if (role_[u] == 1) {
+      found = true;
+      break;
+    }
+    for (VertexId v : comp_.graph.neighbors(u)) {
+      if (role_[v] != 0 && seen_[v] != epoch_) {
+        seen_[v] = epoch_;
+        stack_.push_back(v);
+      }
+    }
+  }
+
+  // Reset roles for the next call (deg_ entries are rewritten on use).
+  for (VertexId u : candidates_) role_[u] = 0;
+  for (VertexId u = ctx.m_list().First(); u != kInvalidVertex;
+       u = ctx.m_list().Next(u)) {
+    role_[u] = 0;
+  }
+  return found;
+}
+
+bool CanTerminateEarly(const SearchContext& ctx) {
+  EarlyTerminationChecker checker(ctx.component());
+  return checker.CanTerminate(ctx);
+}
+
+}  // namespace krcore

@@ -1,0 +1,191 @@
+#include "core/enumerate.h"
+
+#include <algorithm>
+
+#include "core/early_termination.h"
+#include "core/maximal_check.h"
+#include "core/result_set.h"
+#include "core/search_context.h"
+#include "core/search_order.h"
+#include "graph/connectivity.h"
+#include "util/logging.h"
+
+namespace krcore {
+namespace {
+
+/// Per-component recursive enumerator implementing Algorithm 3 (and, with
+/// the advanced features disabled, the pruned Algorithm 1 baseline).
+class ComponentEnumerator {
+ public:
+  ComponentEnumerator(const ComponentContext& comp, const EnumOptions& options,
+                      MiningStats* stats, ResultSet* results)
+      : comp_(comp),
+        options_(options),
+        stats_(stats),
+        results_(results),
+        ctx_(comp, options.k,
+             /*track_excluded=*/options.use_early_termination ||
+                 options.use_smart_maximal_check),
+        policy_(options.order, BranchOrder::kExpandFirst, options.lambda,
+                options.seed),
+        et_checker_(comp),
+        maximal_checker_(comp) {}
+
+  Status Run() {
+    // Root node: the whole component is C; apply the validation rules that
+    // hold before any branching.
+    if (options_.use_retention) {
+      if (!ctx_.PromoteSimilarityFree(&stats_->promotions)) return Status::OK();
+    }
+    return Visit();
+  }
+
+ private:
+  /// One search node: prune/terminate/emit or branch (Algorithm 3).
+  Status Visit() {
+    if ((stats_->search_nodes++ & 0x3F) == 0 && options_.deadline.Expired()) {
+      return Status::DeadlineExceeded("enumeration budget expired");
+    }
+    KRCORE_DCHECK(!ctx_.dead());
+
+    // Early termination (Theorem 5).
+    if (options_.use_early_termination && et_checker_.CanTerminate(ctx_)) {
+      ++stats_->early_terminations;
+      return Status::OK();
+    }
+
+    // Emission condition: with retention, C == SF(C) makes M ∪ C a
+    // (k,r)-core (Theorem 4); without retention we only emit at C == ∅.
+    bool emit = options_.use_retention ? ctx_.CandidatesAllSimilarityFree()
+                                       : ctx_.c_list().empty();
+    if (emit) {
+      return Emit();
+    }
+
+    // Choose the branching vertex among C \ SF(C) (Thm 4) or all of C.
+    BranchChoice choice =
+        policy_.Choose(ctx_, /*restrict_to_non_sf=*/options_.use_retention,
+                       /*sum_branches=*/true);
+    if (options_.use_retention) {
+      stats_->retained_skips += ctx_.sf_count();
+    }
+    VertexId u = choice.vertex;
+
+    // Expand branch.
+    {
+      size_t mark = ctx_.Mark();
+      ++stats_->expand_branches;
+      bool alive = ctx_.Expand(u);
+      if (alive && options_.use_retention) {
+        alive = ctx_.PromoteSimilarityFree(&stats_->promotions);
+      }
+      Status s = alive ? Visit() : Status::OK();
+      ctx_.RewindTo(mark);
+      if (!s.ok()) return s;
+    }
+
+    // Shrink branch.
+    {
+      size_t mark = ctx_.Mark();
+      ++stats_->shrink_branches;
+      bool alive = ctx_.Shrink(u);
+      if (alive && options_.use_retention) {
+        alive = ctx_.PromoteSimilarityFree(&stats_->promotions);
+      }
+      Status s = alive ? Visit() : Status::OK();
+      ctx_.RewindTo(mark);
+      if (!s.ok()) return s;
+    }
+    return Status::OK();
+  }
+
+  /// Emits the connected components of M ∪ C as candidate (k,r)-cores,
+  /// running the smart maximal check when enabled. With M non-empty the
+  /// connectivity reduction guarantees a single component.
+  Status Emit() {
+    std::vector<VertexId> mc = ctx_.MaterializeMC();
+    if (mc.empty()) return Status::OK();
+    auto components = ComponentsOfSubset(comp_.graph, mc);
+    for (auto& local_core : components) {
+      ++stats_->emitted_candidates;
+      if (options_.use_smart_maximal_check) {
+        ++stats_->maximal_check_calls;
+        MaximalVerdict verdict = maximal_checker_.Check(
+            ctx_, local_core, options_.maximal_check_order, options_.lambda,
+            options_.deadline, &stats_->maximal_check_nodes);
+        if (verdict == MaximalVerdict::kDeadlineExceeded) {
+          return Status::DeadlineExceeded("maximal check budget expired");
+        }
+        if (verdict == MaximalVerdict::kNotMaximal) continue;
+      }
+      VertexSet parent_ids;
+      parent_ids.reserve(local_core.size());
+      for (VertexId v : local_core) parent_ids.push_back(comp_.to_parent[v]);
+      std::sort(parent_ids.begin(), parent_ids.end());
+      results_->Insert(std::move(parent_ids));
+    }
+    return Status::OK();
+  }
+
+  const ComponentContext& comp_;
+  const EnumOptions& options_;
+  MiningStats* stats_;
+  ResultSet* results_;
+  SearchContext ctx_;
+  SearchOrderPolicy policy_;
+  EarlyTerminationChecker et_checker_;
+  MaximalCheckSearcher maximal_checker_;
+};
+
+}  // namespace
+
+MaximalCoresResult EnumerateMaximalCores(const Graph& g,
+                                         const SimilarityOracle& oracle,
+                                         const EnumOptions& options) {
+  MaximalCoresResult result;
+  Timer timer;
+
+  PipelineOptions pipe;
+  pipe.k = options.k;
+  pipe.max_pair_budget = options.max_pair_budget;
+  std::vector<ComponentContext> components;
+  result.status = PrepareComponents(g, oracle, pipe, &components);
+  if (!result.status.ok()) return result;
+
+  ResultSet results;
+  for (const auto& comp : components) {
+    ++result.stats.components;
+    ComponentEnumerator enumerator(comp, options, &result.stats, &results);
+    result.status = enumerator.Run();
+    if (!result.status.ok()) break;
+  }
+
+  // Variants without the smart maximal check filter non-maximal cores the
+  // naive way (Algorithm 1 lines 6-8). The smart check makes this a no-op,
+  // but emitted results from *different* branches can still duplicate or
+  // nest across components of a C == SF(C) emission with empty M; the filter
+  // keeps the output canonical in all configurations.
+  results.FilterNonMaximal();
+  result.cores = results.TakeSorted();
+  result.stats.maximal_found = result.cores.size();
+  result.stats.seconds = timer.ElapsedSeconds();
+  return result;
+}
+
+EnumOptions BasicEnumOptions(uint32_t k) {
+  EnumOptions o;
+  o.k = k;
+  o.use_retention = false;
+  o.use_early_termination = false;
+  o.use_smart_maximal_check = false;
+  o.order = VertexOrder::kDelta1ThenDelta2;
+  return o;
+}
+
+EnumOptions AdvEnumOptions(uint32_t k) {
+  EnumOptions o;
+  o.k = k;
+  return o;
+}
+
+}  // namespace krcore

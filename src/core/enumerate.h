@@ -1,0 +1,63 @@
+#ifndef KRCORE_CORE_ENUMERATE_H_
+#define KRCORE_CORE_ENUMERATE_H_
+
+#include <cstdint>
+
+#include "core/krcore_types.h"
+#include "core/pipeline.h"
+#include "graph/graph.h"
+#include "similarity/similarity_oracle.h"
+#include "util/timer.h"
+
+namespace krcore {
+
+/// Options for maximal (k,r)-core enumeration. The paper's algorithm
+/// variants map to feature-flag combinations:
+///
+///   BasicEnum    = {retention=false, early_termination=false,
+///                   smart_maximal_check=false}  (Thm 2/3 pruning only,
+///                   naive post-hoc maximal filtering; best order)
+///   BE+CR        = BasicEnum + retention (Thm 4 / Remark 1)
+///   BE+CR+ET     = BE+CR + early termination (Thm 5)
+///   AdvEnum      = BE+CR+ET + smart maximal check (Thm 6 / Alg 4)
+///   AdvEnum-O    = AdvEnum with order = kDegree (Fig 12a)
+///   AdvEnum-P    = BasicEnum flags with the best order (Fig 12a)
+struct EnumOptions {
+  uint32_t k = 3;
+
+  bool use_retention = true;
+  bool use_early_termination = true;
+  bool use_smart_maximal_check = true;
+
+  VertexOrder order = VertexOrder::kDelta1ThenDelta2;
+  /// Candidate order inside the maximal check (Fig 11(f)). The paper's
+  /// Algorithm 4 expands one vertex at a time and benefits from the degree
+  /// order; our conflict-driven check (see maximal_check.h) resolves
+  /// dissimilar pairs instead, where the Δ1-style order measures best —
+  /// EXPERIMENTS.md records the comparison.
+  VertexOrder maximal_check_order = VertexOrder::kDelta1ThenDelta2;
+  /// Only used by order == kLambdaCombo (and the combo check order).
+  double lambda = 5.0;
+  /// Seed for order == kRandom.
+  uint64_t seed = 7;
+
+  /// Wall-clock budget; expiry returns partial results with
+  /// Status::DeadlineExceeded (rendered as INF by the benches).
+  Deadline deadline;
+
+  /// Preprocessing guard (see PipelineOptions).
+  uint64_t max_pair_budget = 64ull << 20;
+};
+
+/// Enumerates all maximal (k,r)-cores of `g` under `oracle` (Algorithms 1+3).
+MaximalCoresResult EnumerateMaximalCores(const Graph& g,
+                                         const SimilarityOracle& oracle,
+                                         const EnumOptions& options);
+
+/// Shorthand presets matching the paper's named variants.
+EnumOptions BasicEnumOptions(uint32_t k);
+EnumOptions AdvEnumOptions(uint32_t k);
+
+}  // namespace krcore
+
+#endif  // KRCORE_CORE_ENUMERATE_H_

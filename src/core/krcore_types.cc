@@ -1,0 +1,80 @@
+#include "core/krcore_types.h"
+
+#include <sstream>
+
+namespace krcore {
+
+std::string VertexOrderName(VertexOrder o) {
+  switch (o) {
+    case VertexOrder::kRandom:
+      return "random";
+    case VertexOrder::kDegree:
+      return "degree";
+    case VertexOrder::kDelta1:
+      return "delta1";
+    case VertexOrder::kDelta2:
+      return "delta2";
+    case VertexOrder::kDelta1ThenDelta2:
+      return "delta1-then-delta2";
+    case VertexOrder::kLambdaCombo:
+      return "lambda*delta1-delta2";
+  }
+  return "unknown";
+}
+
+std::string BranchOrderName(BranchOrder o) {
+  switch (o) {
+    case BranchOrder::kAdaptive:
+      return "adaptive";
+    case BranchOrder::kExpandFirst:
+      return "expand-first";
+    case BranchOrder::kShrinkFirst:
+      return "shrink-first";
+  }
+  return "unknown";
+}
+
+std::string SizeBoundName(SizeBoundKind b) {
+  switch (b) {
+    case SizeBoundKind::kNaive:
+      return "|M|+|C|";
+    case SizeBoundKind::kColor:
+      return "color";
+    case SizeBoundKind::kKcore:
+      return "kcore";
+    case SizeBoundKind::kColorPlusKcore:
+      return "color+kcore";
+    case SizeBoundKind::kDoubleKcore:
+      return "double-kcore";
+  }
+  return "unknown";
+}
+
+void MiningStats::MergeFrom(const MiningStats& other) {
+  search_nodes += other.search_nodes;
+  expand_branches += other.expand_branches;
+  shrink_branches += other.shrink_branches;
+  emitted_candidates += other.emitted_candidates;
+  maximal_found += other.maximal_found;
+  early_terminations += other.early_terminations;
+  bound_prunes += other.bound_prunes;
+  promotions += other.promotions;
+  retained_skips += other.retained_skips;
+  maximal_check_calls += other.maximal_check_calls;
+  maximal_check_nodes += other.maximal_check_nodes;
+  components += other.components;
+  seconds += other.seconds;
+}
+
+std::string MiningStats::ToString() const {
+  std::ostringstream os;
+  os << "nodes=" << search_nodes << " expand=" << expand_branches
+     << " shrink=" << shrink_branches << " emitted=" << emitted_candidates
+     << " maximal=" << maximal_found << " et=" << early_terminations
+     << " bound_prunes=" << bound_prunes << " promotions=" << promotions
+     << " mc_calls=" << maximal_check_calls << " comps=" << components
+     << " sec=" << seconds;
+  return os.str();
+}
+
+}  // namespace krcore

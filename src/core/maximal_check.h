@@ -1,0 +1,76 @@
+#ifndef KRCORE_CORE_MAXIMAL_CHECK_H_
+#define KRCORE_CORE_MAXIMAL_CHECK_H_
+
+#include <vector>
+
+#include "core/krcore_types.h"
+#include "core/search_context.h"
+#include "util/timer.h"
+
+namespace krcore {
+
+enum class MaximalVerdict {
+  kMaximal,
+  kNotMaximal,
+  kDeadlineExceeded,
+};
+
+/// Theorem 6 / Algorithm 4: decides whether a freshly generated (k,r)-core
+/// (a connected component of M ∪ C at emission time, component-local ids)
+/// is maximal, by searching for a strictly larger (k,r)-core inside
+/// core ∪ E.
+///
+/// The search branches on *similarity conflicts only*: a valid extension U
+/// never contains a dissimilar pair, so for a conflicted candidate w it
+/// explores "keep w" (dropping w's dissimilar candidates) and "drop w".
+/// When no conflicts remain, the answer is immediate — peel the candidates
+/// to degree >= k with the core pinned; the core extends iff a survivor
+/// connects to it. Exponential only in the conflicts inside the filtered
+/// excluded set (tiny in practice), never in |E|.
+///
+/// `order` selects the conflict-vertex heuristic compared in Fig 11(f):
+/// kDegree (the paper's recommendation), kDelta1ThenDelta2 or kLambdaCombo;
+/// anything else falls back to kDegree.
+///
+/// Instantiate once per component; calls reuse internal scratch buffers.
+class MaximalCheckSearcher {
+ public:
+  explicit MaximalCheckSearcher(const ComponentContext& comp);
+
+  MaximalVerdict Check(const SearchContext& ctx,
+                       const std::vector<VertexId>& core, VertexOrder order,
+                       double lambda, const Deadline& deadline,
+                       uint64_t* nodes);
+
+ private:
+  void Peel(uint32_t k, std::vector<VertexId>& cand);
+  bool AnyAttached(const std::vector<VertexId>& core,
+                   const std::vector<VertexId>& cand);
+  VertexId ChooseConflicted(const std::vector<VertexId>& cand, uint32_t k,
+                            VertexOrder order, double lambda);
+  MaximalVerdict Search(const SearchContext& ctx,
+                        const std::vector<VertexId>& core,
+                        std::vector<VertexId> cand, VertexOrder order,
+                        double lambda, const Deadline& deadline,
+                        uint64_t* nodes);
+
+  const ComponentContext& comp_;
+  std::vector<uint8_t> in_core_;
+  std::vector<uint8_t> role_;
+  std::vector<uint32_t> deg_;
+  std::vector<uint32_t> seen_;
+  std::vector<VertexId> worklist_;
+  std::vector<VertexId> stack_;
+  uint32_t epoch_ = 0;
+  uint64_t check_counter_ = 0;
+};
+
+/// One-off convenience wrapper (tests).
+MaximalVerdict CheckMaximal(const SearchContext& ctx,
+                            const std::vector<VertexId>& core,
+                            VertexOrder order, double lambda,
+                            const Deadline& deadline, uint64_t* nodes);
+
+}  // namespace krcore
+
+#endif  // KRCORE_CORE_MAXIMAL_CHECK_H_

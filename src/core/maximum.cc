@@ -1,0 +1,165 @@
+#include "core/maximum.h"
+
+#include <algorithm>
+
+#include "core/early_termination.h"
+
+#include "core/pipeline.h"
+#include "core/search_context.h"
+#include "core/search_order.h"
+#include "core/size_bounds.h"
+#include "graph/connectivity.h"
+#include "util/logging.h"
+
+namespace krcore {
+namespace {
+
+/// Per-component branch-and-bound for the maximum (k,r)-core (Algorithm 5).
+class ComponentMaximizer {
+ public:
+  ComponentMaximizer(const ComponentContext& comp, const MaxOptions& options,
+                     MiningStats* stats, VertexSet* best)
+      : comp_(comp),
+        options_(options),
+        stats_(stats),
+        best_(best),
+        ctx_(comp, options.k,
+             /*track_excluded=*/options.use_early_termination),
+        policy_(options.order, options.branch_order, options.lambda,
+                options.seed),
+        et_checker_(comp),
+        bound_computer_(comp) {}
+
+  Status Run() {
+    if (options_.use_retention) {
+      if (!ctx_.PromoteSimilarityFree(&stats_->promotions)) return Status::OK();
+    }
+    return Visit();
+  }
+
+ private:
+  Status Visit() {
+    if ((stats_->search_nodes++ & 0x3F) == 0 && options_.deadline.Expired()) {
+      return Status::DeadlineExceeded("maximum search budget expired");
+    }
+    KRCORE_DCHECK(!ctx_.dead());
+
+    // Early termination (Theorem 5): any core from this subtree extends to a
+    // strictly larger one elsewhere; it cannot be the (unique-size) maximum.
+    if (options_.use_early_termination && et_checker_.CanTerminate(ctx_)) {
+      ++stats_->early_terminations;
+      return Status::OK();
+    }
+
+    // Upper-bound cutoff (Algorithm 5 line 2): prune unless the bound says
+    // this subtree could beat the incumbent.
+    uint64_t bound = bound_computer_.Compute(ctx_, options_.bound);
+    if (bound <= best_->size()) {
+      ++stats_->bound_prunes;
+      return Status::OK();
+    }
+
+    // Emission (Theorem 4).
+    bool emit = options_.use_retention ? ctx_.CandidatesAllSimilarityFree()
+                                       : ctx_.c_list().empty();
+    if (emit) {
+      Emit();
+      return Status::OK();
+    }
+
+    BranchChoice choice =
+        policy_.Choose(ctx_, /*restrict_to_non_sf=*/options_.use_retention,
+                       /*sum_branches=*/false);
+    VertexId u = choice.vertex;
+
+    for (int round = 0; round < 2; ++round) {
+      bool expanding = (round == 0) == choice.expand_first;
+      size_t mark = ctx_.Mark();
+      bool alive;
+      if (expanding) {
+        ++stats_->expand_branches;
+        alive = ctx_.Expand(u);
+      } else {
+        ++stats_->shrink_branches;
+        alive = ctx_.Shrink(u);
+      }
+      if (alive && options_.use_retention) {
+        alive = ctx_.PromoteSimilarityFree(&stats_->promotions);
+      }
+      Status s = alive ? Visit() : Status::OK();
+      ctx_.RewindTo(mark);
+      if (!s.ok()) return s;
+    }
+    return Status::OK();
+  }
+
+  void Emit() {
+    std::vector<VertexId> mc = ctx_.MaterializeMC();
+    if (mc.empty()) return;
+    auto components = ComponentsOfSubset(comp_.graph, mc);
+    for (const auto& local_core : components) {
+      ++stats_->emitted_candidates;
+      if (local_core.size() > best_->size()) {
+        best_->clear();
+        best_->reserve(local_core.size());
+        for (VertexId v : local_core) best_->push_back(comp_.to_parent[v]);
+        std::sort(best_->begin(), best_->end());
+      }
+    }
+  }
+
+  const ComponentContext& comp_;
+  const MaxOptions& options_;
+  MiningStats* stats_;
+  VertexSet* best_;
+  SearchContext ctx_;
+  SearchOrderPolicy policy_;
+  EarlyTerminationChecker et_checker_;
+  SizeBoundComputer bound_computer_;
+};
+
+}  // namespace
+
+MaximumCoreResult FindMaximumCore(const Graph& g,
+                                  const SimilarityOracle& oracle,
+                                  const MaxOptions& options) {
+  MaximumCoreResult result;
+  Timer timer;
+
+  PipelineOptions pipe;
+  pipe.k = options.k;
+  pipe.max_pair_budget = options.max_pair_budget;
+  pipe.order_by_max_degree = true;  // seed the incumbent from the densest part
+  std::vector<ComponentContext> components;
+  result.status = PrepareComponents(g, oracle, pipe, &components);
+  if (!result.status.ok()) return result;
+
+  for (const auto& comp : components) {
+    ++result.stats.components;
+    // A whole component can be skipped when even its total size cannot beat
+    // the incumbent.
+    if (comp.size() <= result.best.size()) continue;
+    ComponentMaximizer maximizer(comp, options, &result.stats, &result.best);
+    result.status = maximizer.Run();
+    if (!result.status.ok()) break;
+  }
+  result.stats.maximal_found = result.best.empty() ? 0 : 1;
+  result.stats.seconds = timer.ElapsedSeconds();
+  return result;
+}
+
+MaxOptions BasicMaxOptions(uint32_t k) {
+  MaxOptions o;
+  o.k = k;
+  o.bound = SizeBoundKind::kNaive;
+  return o;
+}
+
+MaxOptions AdvMaxOptions(uint32_t k) {
+  MaxOptions o;
+  o.k = k;
+  o.bound = SizeBoundKind::kDoubleKcore;
+  return o;
+}
+
+}  // namespace krcore

@@ -1,0 +1,48 @@
+#ifndef KRCORE_CORE_MAXIMUM_H_
+#define KRCORE_CORE_MAXIMUM_H_
+
+#include <cstdint>
+
+#include "core/krcore_types.h"
+#include "graph/graph.h"
+#include "similarity/similarity_oracle.h"
+#include "util/timer.h"
+
+namespace krcore {
+
+/// Options for the maximum (k,r)-core search (Algorithm 5). Paper variants:
+///
+///   BasicMax   = {bound = kNaive}            (|M|+|C|; best order)
+///   AdvMax     = {bound = kDoubleKcore}      ((k,k')-core bound, Alg 6)
+///   AdvMax-UB  = BasicMax                    (Fig 12b naming)
+///   AdvMax-O   = AdvMax with order = kDegree (Fig 12b)
+///   Color+Kcore= {bound = kColorPlusKcore}   (Fig 10 baseline [31])
+struct MaxOptions {
+  uint32_t k = 3;
+
+  SizeBoundKind bound = SizeBoundKind::kDoubleKcore;
+  bool use_retention = true;
+  bool use_early_termination = true;
+
+  VertexOrder order = VertexOrder::kLambdaCombo;
+  BranchOrder branch_order = BranchOrder::kAdaptive;
+  double lambda = 5.0;
+  uint64_t seed = 7;
+
+  Deadline deadline;
+  uint64_t max_pair_budget = 64ull << 20;
+};
+
+/// Finds a maximum (k,r)-core of `g` (largest vertex count; ties broken by
+/// discovery order). `best` is empty when no (k,r)-core exists.
+MaximumCoreResult FindMaximumCore(const Graph& g,
+                                  const SimilarityOracle& oracle,
+                                  const MaxOptions& options);
+
+/// Shorthand presets matching the paper's named variants.
+MaxOptions BasicMaxOptions(uint32_t k);
+MaxOptions AdvMaxOptions(uint32_t k);
+
+}  // namespace krcore
+
+#endif  // KRCORE_CORE_MAXIMUM_H_

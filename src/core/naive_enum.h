@@ -1,0 +1,24 @@
+#ifndef KRCORE_CORE_NAIVE_ENUM_H_
+#define KRCORE_CORE_NAIVE_ENUM_H_
+
+#include "core/krcore_types.h"
+#include "graph/graph.h"
+#include "similarity/similarity_oracle.h"
+
+namespace krcore {
+
+/// The naive set-enumeration solution of Sec 4.1 (Algorithms 1 + 2), used as
+/// the correctness oracle in tests: after the shared preprocessing, every
+/// subset of each component is enumerated via bitmasks, validated against
+/// both constraints plus connectivity, and the non-maximal results are
+/// filtered. Exponential — components are limited to `max_component_size`
+/// vertices (default 24) and the call aborts with ResourceExhausted beyond
+/// that.
+MaximalCoresResult EnumerateMaximalCoresNaive(const Graph& g,
+                                              const SimilarityOracle& oracle,
+                                              uint32_t k,
+                                              uint32_t max_component_size = 24);
+
+}  // namespace krcore
+
+#endif  // KRCORE_CORE_NAIVE_ENUM_H_

@@ -1,0 +1,84 @@
+#include "core/pipeline.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include "graph/connectivity.h"
+#include "graph/graph_builder.h"
+#include "kcore/core_decomposition.h"
+
+namespace krcore {
+
+bool ComponentContext::Dissimilar(VertexId u, VertexId v) const {
+  const auto& d = dissimilar[u];
+  return std::binary_search(d.begin(), d.end(), v);
+}
+
+Status PrepareComponents(const Graph& g, const SimilarityOracle& oracle,
+                         const PipelineOptions& options,
+                         std::vector<ComponentContext>* out) {
+  out->clear();
+  if (options.k == 0) {
+    return Status::InvalidArgument("k must be a positive integer");
+  }
+
+  // Line 1-2 of Algorithm 1: drop edges between dissimilar endpoints. Such
+  // edges can never appear inside a (k,r)-core (similarity constraint).
+  GraphBuilder filtered(g.num_vertices());
+  for (VertexId u = 0; u < g.num_vertices(); ++u) {
+    for (VertexId v : g.neighbors(u)) {
+      if (u < v && oracle.Similar(u, v)) filtered.AddEdge(u, v);
+    }
+  }
+  Graph similar_only = filtered.Build();
+
+  // Line 3: k-core of the filtered graph.
+  std::vector<VertexId> core_vertices = KCoreVertices(similar_only, options.k);
+  if (core_vertices.empty()) return Status::OK();
+
+  // Line 4: connected components (within the k-core).
+  auto components = ComponentsOfSubset(similar_only, core_vertices);
+
+  // Guard the O(|comp|^2) pairwise materialization.
+  uint64_t pair_budget = 0;
+  for (const auto& comp : components) {
+    pair_budget += static_cast<uint64_t>(comp.size()) * comp.size() / 2;
+  }
+  if (pair_budget > options.max_pair_budget) {
+    return Status::ResourceExhausted(
+        "component pairwise-similarity budget exceeded; raise "
+        "PipelineOptions::max_pair_budget or tighten k/r");
+  }
+
+  out->reserve(components.size());
+  for (const auto& comp : components) {
+    ComponentContext ctx;
+    auto induced = BuildInducedSubgraph(similar_only, comp);
+    ctx.graph = std::move(induced.graph);
+    ctx.to_parent = std::move(induced.to_parent);
+    const VertexId n = ctx.size();
+    ctx.dissimilar.assign(n, {});
+    for (VertexId a = 0; a < n; ++a) {
+      for (VertexId b = a + 1; b < n; ++b) {
+        if (!oracle.Similar(ctx.to_parent[a], ctx.to_parent[b])) {
+          ctx.dissimilar[a].push_back(b);
+          ctx.dissimilar[b].push_back(a);
+          ++ctx.num_dissimilar_pairs;
+        }
+      }
+    }
+    out->push_back(std::move(ctx));
+  }
+
+  if (options.order_by_max_degree) {
+    // Search the component with the highest-degree vertex first: the
+    // maximum search seeds its incumbent from a large core quickly.
+    std::stable_sort(out->begin(), out->end(),
+                     [](const ComponentContext& a, const ComponentContext& b) {
+                       return a.graph.max_degree() > b.graph.max_degree();
+                     });
+  }
+  return Status::OK();
+}
+
+}  // namespace krcore

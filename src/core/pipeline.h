@@ -1,0 +1,54 @@
+#ifndef KRCORE_CORE_PIPELINE_H_
+#define KRCORE_CORE_PIPELINE_H_
+
+#include <vector>
+
+#include "core/krcore_types.h"
+#include "graph/graph.h"
+#include "similarity/similarity_oracle.h"
+#include "util/status.h"
+
+namespace krcore {
+
+/// A connected component produced by the Algorithm 1 preprocessing
+/// (dissimilar-edge removal -> k-core -> connected components), re-indexed
+/// with dense local ids and with all pairwise dissimilarity materialized.
+///
+/// Every (k,r)-core of the input graph lives entirely inside exactly one
+/// component (Sec 4.1), so the search runs per component with local ids.
+struct ComponentContext {
+  /// Induced structure graph over local ids (every edge already similar).
+  Graph graph;
+  /// Local id -> original graph id.
+  std::vector<VertexId> to_parent;
+  /// dissimilar[u] = sorted local ids v with sim(u,v) violating r. This is
+  /// the complement of the component's similarity graph; all engine-side
+  /// similarity tests run on these lists (the oracle is not consulted again).
+  std::vector<std::vector<VertexId>> dissimilar;
+  /// Total number of dissimilar pairs in the component (DP of Sec 7.1).
+  uint64_t num_dissimilar_pairs = 0;
+
+  VertexId size() const { return graph.num_vertices(); }
+  bool Dissimilar(VertexId u, VertexId v) const;
+};
+
+struct PipelineOptions {
+  uint32_t k = 1;
+  /// Refuses preprocessing when the sum over components of
+  /// |component|^2 / 2 exceeds this many pairwise similarity evaluations.
+  uint64_t max_pair_budget = 64ull << 20;
+  /// Sort components so the one containing the globally highest-degree
+  /// vertex is searched first (Sec 6.1's seeding rule for FindMaximum).
+  bool order_by_max_degree = true;
+};
+
+/// Runs the shared preprocessing of Algorithm 1 (lines 1-4): removes edges
+/// between dissimilar endpoints, extracts the k-core, splits into connected
+/// components and materializes per-component dissimilarity.
+Status PrepareComponents(const Graph& g, const SimilarityOracle& oracle,
+                         const PipelineOptions& options,
+                         std::vector<ComponentContext>* out);
+
+}  // namespace krcore
+
+#endif  // KRCORE_CORE_PIPELINE_H_

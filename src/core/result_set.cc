@@ -1,0 +1,57 @@
+#include "core/result_set.h"
+
+#include <algorithm>
+
+namespace krcore {
+
+size_t ResultSet::SetHash::operator()(const VertexSet& s) const {
+  // FNV-1a over the id stream.
+  uint64_t h = 1469598103934665603ull;
+  for (VertexId v : s) {
+    h ^= v;
+    h *= 1099511628211ull;
+  }
+  return static_cast<size_t>(h);
+}
+
+bool ResultSet::Insert(VertexSet core) {
+  auto [it, inserted] = seen_.insert(core);
+  (void)it;
+  if (inserted) cores_.push_back(std::move(core));
+  return inserted;
+}
+
+bool IsSubsetOf(const VertexSet& a, const VertexSet& b) {
+  if (a.size() > b.size()) return false;
+  return std::includes(b.begin(), b.end(), a.begin(), a.end());
+}
+
+void ResultSet::FilterNonMaximal() {
+  // Sort by size descending so a core can only be contained in earlier ones.
+  std::stable_sort(cores_.begin(), cores_.end(),
+                   [](const VertexSet& a, const VertexSet& b) {
+                     return a.size() > b.size();
+                   });
+  std::vector<VertexSet> kept;
+  for (const auto& core : cores_) {
+    bool contained = false;
+    for (const auto& big : kept) {
+      if (big.size() > core.size() && IsSubsetOf(core, big)) {
+        contained = true;
+        break;
+      }
+    }
+    if (!contained) kept.push_back(core);
+  }
+  cores_ = std::move(kept);
+  seen_.clear();
+  for (const auto& c : cores_) seen_.insert(c);
+}
+
+std::vector<VertexSet> ResultSet::TakeSorted() {
+  std::sort(cores_.begin(), cores_.end());
+  seen_.clear();
+  return std::move(cores_);
+}
+
+}  // namespace krcore

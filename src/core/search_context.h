@@ -1,0 +1,196 @@
+#ifndef KRCORE_CORE_SEARCH_CONTEXT_H_
+#define KRCORE_CORE_SEARCH_CONTEXT_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "core/krcore_types.h"
+#include "core/pipeline.h"
+
+namespace krcore {
+
+/// Intrusive doubly-linked list over a fixed vertex universe, with O(1)
+/// insert/remove. Used to iterate the M / C / E sets without scanning all
+/// vertices. Removal anywhere and front-insertion are both reversible, so
+/// the trail-based undo in SearchContext can restore membership.
+class VertexList {
+ public:
+  void Init(VertexId n);
+  void PushFront(VertexId u);
+  void Remove(VertexId u);
+  bool Contains(VertexId u) const { return prev_[u] != kNil; }
+  VertexId size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+
+  /// Iteration: for (v = list.First(); v != kInvalidVertex; v = list.Next(v))
+  VertexId First() const;
+  VertexId Next(VertexId u) const;
+
+  /// Copies the members into a vector (unspecified order).
+  std::vector<VertexId> Materialize() const;
+
+ private:
+  static constexpr VertexId kNil = kInvalidVertex;
+  // Slot n is the sentinel head.
+  std::vector<VertexId> next_, prev_;
+  VertexId head_ = kNil;
+  VertexId size_ = 0;
+};
+
+/// Per-vertex search state (Table 1's M, C, E plus discarded).
+enum class VertexState : uint8_t {
+  kInC = 0,      // candidate
+  kInM = 1,      // chosen
+  kInE = 2,      // excluded but similar to all of M (relevant for Thm 5/6)
+  kRemoved = 3,  // discarded and irrelevant
+};
+
+/// Branch-and-bound state for one component, implementing the candidate
+/// pruning rules (Thms 2 and 3), the similarity/degree invariants
+/// (Equations 1 and 2), the retention rule (Thm 4 / Remark 1) and the
+/// excluded-set maintenance that Theorems 5 and 6 rely on.
+///
+/// All mutations are journaled on a trail; Mark()/RewindTo() give O(#changes)
+/// backtracking. All ids are component-local.
+class SearchContext {
+ public:
+  /// `track_excluded` keeps E and the dp_e counters up to date (needed by
+  /// early termination and the smart maximal check; BasicEnum turns it off).
+  SearchContext(const ComponentContext& comp, uint32_t k, bool track_excluded);
+
+  const ComponentContext& component() const { return *comp_; }
+  uint32_t k() const { return k_; }
+
+  // ---- set access -------------------------------------------------------
+  VertexState state(VertexId u) const { return state_[u]; }
+  const VertexList& m_list() const { return m_list_; }
+  const VertexList& c_list() const { return c_list_; }
+  const VertexList& e_list() const { return e_list_; }
+
+  /// Structure degree of u w.r.t. M ∪ C (valid while u ∈ M ∪ C; frozen at
+  /// discard time otherwise).
+  uint32_t deg_mc(VertexId u) const { return deg_mc_[u]; }
+  /// Number of u's neighbors currently in M (maintained for every vertex).
+  uint32_t deg_m(VertexId u) const { return deg_m_[u]; }
+  /// DP(u, C): number of u's dissimilar vertices currently in C.
+  uint32_t dp_c(VertexId u) const { return dp_c_[u]; }
+  /// DP(u, M).
+  uint32_t dp_m(VertexId u) const { return dp_m_[u]; }
+  /// DP(u, E) — only maintained when track_excluded is on.
+  uint32_t dp_e(VertexId u) const { return dp_e_[u]; }
+
+  /// DP(C): number of dissimilar pairs with both endpoints in C.
+  uint64_t dissimilar_pairs_c() const { return dp_pairs_c_; }
+  /// |E(M ∪ C)|: edges with both endpoints in M ∪ C.
+  uint64_t edges_mc() const { return edges_mc_; }
+  /// |SF(C)|: candidates similar to every other candidate (Thm 4).
+  VertexId sf_count() const { return sf_count_; }
+
+  bool dead() const { return dead_; }
+
+  /// True iff u ∈ C and u is similarity-free w.r.t. C.
+  bool InSfC(VertexId u) const {
+    return state_[u] == VertexState::kInC && dp_c_[u] == 0;
+  }
+
+  /// C == SF(C): per Theorem 4, M ∪ C is then a (k,r)-core.
+  bool CandidatesAllSimilarityFree() const {
+    return sf_count_ == c_list_.size();
+  }
+
+  // ---- branching operations ---------------------------------------------
+  /// Expand branch: moves u from C to M, applies similarity pruning (Thm 3)
+  /// against u, then the structure-peel cascade (Thm 2), then the
+  /// M-connectivity reduction. Returns false iff the branch died (an M
+  /// vertex lost the structure constraint or M became disconnected).
+  bool Expand(VertexId u);
+
+  /// Shrink branch: discards u from C (into E when similar to all of M and
+  /// excluded tracking is on), then cascades. Returns false iff dead.
+  bool Shrink(VertexId u);
+
+  /// Remark 1: repeatedly moves every u ∈ SF(C) with deg(u, M) >= k straight
+  /// into M. Returns false iff a cascade killed the branch. The number of
+  /// promotions performed is added to *promotions (may be null).
+  bool PromoteSimilarityFree(uint64_t* promotions);
+
+  // ---- backtracking -------------------------------------------------------
+  /// Returns a checkpoint token for RewindTo.
+  size_t Mark() const { return trail_.size(); }
+  /// Restores the exact state at Mark(); clears the dead flag.
+  void RewindTo(size_t mark);
+
+  /// Members of M ∪ C (sorted ascending).
+  std::vector<VertexId> MaterializeMC() const;
+
+ private:
+  friend class SearchContextTestPeer;
+
+  enum class Op : uint8_t {
+    kState,     // payload: old state
+    kDegMc,     // payload: applied delta
+    kDegM,
+    kDpC,
+    kDpM,
+    kDpE,
+    kPairsC,    // global DP(C) delta (payload in delta64_)
+    kEdgesMc,   // global edge-count delta (payload in delta64_)
+  };
+  struct TrailEntry {
+    Op op;
+    VertexId u;
+    int64_t delta;
+  };
+
+  // Low-level journaled mutators (forward direction).
+  void ChangeState(VertexId u, VertexState s);
+  void AdjustDegMc(VertexId u, int32_t d);
+  void AdjustDegM(VertexId u, int32_t d);
+  void AdjustDpC(VertexId u, int32_t d);
+  void AdjustDpM(VertexId u, int32_t d);
+  void AdjustDpE(VertexId u, int32_t d);
+  void AdjustPairsC(int64_t d);
+  void AdjustEdgesMc(int64_t d);
+
+  // Shared bookkeeping used by both forward application and undo.
+  void ApplyState(VertexId u, VertexState s);
+  void ApplyDpC(VertexId u, int32_t d);
+
+  /// Discards u from C: destination E or Removed, dp/deg updates, enqueues
+  /// under-degree neighbors. Never called for M vertices.
+  void DiscardFromC(VertexId u);
+  /// Drops u out of E (it became dissimilar to M).
+  void DropFromE(VertexId u);
+  /// Moves u from C to M with all counter updates and similarity pruning.
+  void MoveToM(VertexId u);
+  /// Processes the pending structure-peel worklist until empty or dead.
+  void DrainPeel();
+  /// Discards C vertices unreachable from M (when M is non-empty); kills the
+  /// branch when M itself is not connected within M ∪ C. Loops with DrainPeel
+  /// until a fixpoint.
+  void EnforceConnectivity();
+
+  const ComponentContext* comp_;
+  uint32_t k_;
+  bool track_excluded_;
+
+  std::vector<VertexState> state_;
+  VertexList m_list_, c_list_, e_list_;
+  std::vector<uint32_t> deg_mc_, deg_m_;
+  std::vector<uint32_t> dp_c_, dp_m_, dp_e_;
+  uint64_t dp_pairs_c_ = 0;
+  uint64_t edges_mc_ = 0;
+  VertexId sf_count_ = 0;
+  bool dead_ = false;
+
+  std::vector<TrailEntry> trail_;
+  std::vector<VertexId> peel_queue_;
+  // Scratch for connectivity BFS.
+  std::vector<VertexId> bfs_stack_;
+  std::vector<uint32_t> bfs_mark_;
+  uint32_t bfs_epoch_ = 0;
+};
+
+}  // namespace krcore
+
+#endif  // KRCORE_CORE_SEARCH_CONTEXT_H_

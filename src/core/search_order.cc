@@ -1,0 +1,197 @@
+#include "core/search_order.h"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "util/logging.h"
+
+namespace krcore {
+namespace {
+
+/// Returns the highest-degree eligible candidate — also the rule used at the
+/// initial stage (M = ∅) for the measurement-based orders (Sec 7.1).
+VertexId HighestDegreeCandidate(const SearchContext& ctx,
+                                bool restrict_to_non_sf) {
+  const VertexList& c = ctx.c_list();
+  VertexId best = kInvalidVertex;
+  uint32_t best_deg = 0;
+  for (VertexId u = c.First(); u != kInvalidVertex; u = c.Next(u)) {
+    if (restrict_to_non_sf && ctx.dp_c(u) == 0) continue;
+    uint32_t d = ctx.deg_mc(u);
+    if (best == kInvalidVertex || d > best_deg ||
+        (d == best_deg && u < best)) {
+      best = u;
+      best_deg = d;
+    }
+  }
+  return best;
+}
+
+}  // namespace
+
+SearchOrderPolicy::DeltaEstimate SearchOrderPolicy::EstimateDeltas(
+    const SearchContext& ctx, VertexId u) {
+  const ComponentContext& comp = ctx.component();
+  const double total_dp = static_cast<double>(ctx.dissimilar_pairs_c());
+  const double total_edges = static_cast<double>(ctx.edges_mc());
+  DeltaEstimate est;
+
+  // --- Expand branch: the directly pruned vertices are u's dissimilar
+  // candidates (Thm 3); second hop: their neighbors in C that would fall
+  // below degree k (Thm 2). The Sec 7.2 estimate only looks two hops out;
+  // we additionally subsample large pruned sets (extrapolating linearly) so
+  // a node's ordering never costs more than O(|C| * kSampleCap * d).
+  {
+    constexpr size_t kSampleCap = 24;
+    std::vector<VertexId>& removed = scratch_removed_;
+    removed.clear();
+    for (VertexId x : comp.dissimilar[u]) {
+      if (ctx.state(x) == VertexState::kInC) removed.push_back(x);
+    }
+    double dp_drop = 0.0, edge_drop = 0.0;
+    size_t sampled = std::min(removed.size(), kSampleCap);
+    for (size_t i = 0; i < sampled; ++i) {
+      VertexId x = removed[i];
+      dp_drop += ctx.dp_c(x);
+      edge_drop += ctx.deg_mc(x);
+      // Two-hop: structure victims among x's neighbors.
+      for (VertexId y : comp.graph.neighbors(x)) {
+        if (ctx.state(y) == VertexState::kInC && ctx.deg_mc(y) == ctx.k()) {
+          dp_drop += ctx.dp_c(y);
+          edge_drop += ctx.deg_mc(y);
+        }
+      }
+    }
+    if (sampled > 0 && sampled < removed.size()) {
+      double scale = static_cast<double>(removed.size()) / sampled;
+      dp_drop *= scale;
+      edge_drop *= scale;
+    }
+    // u itself leaves C (its dissimilar pairs leave DP(C) as well).
+    dp_drop += ctx.dp_c(u);
+    est.d1_expand = total_dp > 0.0 ? std::min(1.0, dp_drop / total_dp) : 0.0;
+    est.d2_expand =
+        total_edges > 0.0 ? std::min(1.0, edge_drop / total_edges) : 0.0;
+  }
+
+  // --- Shrink branch: u is removed; second hop: u's neighbors in C at the
+  // degree boundary.
+  {
+    double dp_drop = ctx.dp_c(u);
+    double edge_drop = ctx.deg_mc(u);
+    for (VertexId y : comp.graph.neighbors(u)) {
+      if (ctx.state(y) == VertexState::kInC && ctx.deg_mc(y) == ctx.k()) {
+        dp_drop += ctx.dp_c(y);
+        edge_drop += ctx.deg_mc(y);
+      }
+    }
+    est.d1_shrink = total_dp > 0.0 ? std::min(1.0, dp_drop / total_dp) : 0.0;
+    est.d2_shrink =
+        total_edges > 0.0 ? std::min(1.0, edge_drop / total_edges) : 0.0;
+  }
+  return est;
+}
+
+BranchChoice SearchOrderPolicy::Choose(const SearchContext& ctx,
+                                       bool restrict_to_non_sf,
+                                       bool sum_branches) {
+  const VertexList& c = ctx.c_list();
+  KRCORE_DCHECK(!c.empty());
+
+  BranchChoice choice;
+  // Fixed branch orders short-circuit the per-branch scoring below.
+  auto FinalizeBranch = [this](BranchChoice ch, bool adaptive_expand_first) {
+    switch (branch_order_) {
+      case BranchOrder::kAdaptive:
+        ch.expand_first = adaptive_expand_first;
+        break;
+      case BranchOrder::kExpandFirst:
+        ch.expand_first = true;
+        break;
+      case BranchOrder::kShrinkFirst:
+        ch.expand_first = false;
+        break;
+    }
+    return ch;
+  };
+
+  if (order_ == VertexOrder::kRandom) {
+    std::vector<VertexId>& eligible = scratch_eligible_;
+    eligible.clear();
+    for (VertexId u = c.First(); u != kInvalidVertex; u = c.Next(u)) {
+      if (restrict_to_non_sf && ctx.dp_c(u) == 0) continue;
+      eligible.push_back(u);
+    }
+    KRCORE_DCHECK(!eligible.empty());
+    choice.vertex = eligible[rng_.NextBounded(eligible.size())];
+    return FinalizeBranch(choice, true);
+  }
+
+  if (order_ == VertexOrder::kDegree) {
+    choice.vertex = HighestDegreeCandidate(ctx, restrict_to_non_sf);
+    return FinalizeBranch(choice, true);
+  }
+
+  // Measurement-based orders. Initial stage: highest degree (Sec 7.1).
+  if (ctx.m_list().empty() && ctx.c_list().size() == 0) {
+    // unreachable; guard kept for clarity
+  }
+  if (ctx.m_list().empty()) {
+    choice.vertex = HighestDegreeCandidate(ctx, restrict_to_non_sf);
+    return FinalizeBranch(choice, true);
+  }
+
+  double best_score = -1e300;
+  double best_tiebreak = 1e300;
+  bool best_expand_first = true;
+  for (VertexId u = c.First(); u != kInvalidVertex; u = c.Next(u)) {
+    if (restrict_to_non_sf && ctx.dp_c(u) == 0) continue;
+    DeltaEstimate est = EstimateDeltas(ctx, u);
+    double score = 0.0, tiebreak = 0.0;
+    bool expand_first = true;
+    switch (order_) {
+      case VertexOrder::kDelta1: {
+        double se = est.d1_expand, ss = est.d1_shrink;
+        score = sum_branches ? se + ss : std::max(se, ss);
+        expand_first = se >= ss;
+        break;
+      }
+      case VertexOrder::kDelta2: {
+        // Prefer the smallest relative edge loss.
+        double se = -est.d2_expand, ss = -est.d2_shrink;
+        score = sum_branches ? se + ss : std::max(se, ss);
+        expand_first = se >= ss;
+        break;
+      }
+      case VertexOrder::kDelta1ThenDelta2: {
+        double se = est.d1_expand, ss = est.d1_shrink;
+        score = sum_branches ? se + ss : std::max(se, ss);
+        tiebreak = sum_branches ? est.d2_expand + est.d2_shrink
+                                : std::min(est.d2_expand, est.d2_shrink);
+        expand_first = se >= ss;
+        break;
+      }
+      case VertexOrder::kLambdaCombo: {
+        double se = lambda_ * est.d1_expand - est.d2_expand;
+        double ss = lambda_ * est.d1_shrink - est.d2_shrink;
+        score = sum_branches ? se + ss : std::max(se, ss);
+        expand_first = se >= ss;
+        break;
+      }
+      default:
+        KRCORE_CHECK(false) << "unhandled order";
+    }
+    if (score > best_score ||
+        (score == best_score && tiebreak < best_tiebreak)) {
+      best_score = score;
+      best_tiebreak = tiebreak;
+      choice.vertex = u;
+      best_expand_first = expand_first;
+    }
+  }
+  KRCORE_DCHECK(choice.vertex != kInvalidVertex);
+  return FinalizeBranch(choice, best_expand_first);
+}
+
+}  // namespace krcore

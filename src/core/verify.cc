@@ -1,0 +1,54 @@
+#include "core/verify.h"
+
+#include <algorithm>
+#include <sstream>
+
+#include "graph/connectivity.h"
+
+namespace krcore {
+
+bool SatisfiesStructure(const Graph& g, uint32_t k,
+                        const VertexSet& vertices) {
+  for (VertexId u : vertices) {
+    uint32_t d = 0;
+    for (VertexId v : g.neighbors(u)) {
+      if (std::binary_search(vertices.begin(), vertices.end(), v)) ++d;
+    }
+    if (d < k) return false;
+  }
+  return true;
+}
+
+bool SatisfiesSimilarity(const SimilarityOracle& oracle,
+                         const VertexSet& vertices) {
+  for (size_t i = 0; i < vertices.size(); ++i) {
+    for (size_t j = i + 1; j < vertices.size(); ++j) {
+      if (!oracle.Similar(vertices[i], vertices[j])) return false;
+    }
+  }
+  return true;
+}
+
+bool IsKrCore(const Graph& g, const SimilarityOracle& oracle, uint32_t k,
+              const VertexSet& vertices, std::string* why) {
+  auto Explain = [why](const std::string& reason) {
+    if (why != nullptr) *why = reason;
+    return false;
+  };
+  if (vertices.empty()) return Explain("empty vertex set");
+  if (!std::is_sorted(vertices.begin(), vertices.end())) {
+    return Explain("vertex set not sorted");
+  }
+  if (!SatisfiesStructure(g, k, vertices)) {
+    return Explain("structure constraint violated");
+  }
+  if (!SatisfiesSimilarity(oracle, vertices)) {
+    return Explain("similarity constraint violated");
+  }
+  if (!IsConnectedSubset(g, vertices)) {
+    return Explain("induced subgraph disconnected");
+  }
+  return true;
+}
+
+}  // namespace krcore

@@ -1,0 +1,31 @@
+#ifndef KRCORE_CORE_VERIFY_H_
+#define KRCORE_CORE_VERIFY_H_
+
+#include <string>
+#include <vector>
+
+#include "core/krcore_types.h"
+#include "graph/graph.h"
+#include "similarity/similarity_oracle.h"
+
+namespace krcore {
+
+/// Ground-truth validation helpers used by tests, examples and the naive
+/// oracle. All operate on original-graph vertex ids.
+
+/// True iff the induced subgraph on `vertices` (sorted) is connected,
+/// satisfies the structure constraint for `k` and the similarity constraint
+/// under `oracle`. A violation description is written to *why when provided.
+bool IsKrCore(const Graph& g, const SimilarityOracle& oracle, uint32_t k,
+              const VertexSet& vertices, std::string* why = nullptr);
+
+/// Structure constraint only: deg(u, S) >= k for all u in S.
+bool SatisfiesStructure(const Graph& g, uint32_t k, const VertexSet& vertices);
+
+/// Similarity constraint only: all pairs similar.
+bool SatisfiesSimilarity(const SimilarityOracle& oracle,
+                         const VertexSet& vertices);
+
+}  // namespace krcore
+
+#endif  // KRCORE_CORE_VERIFY_H_

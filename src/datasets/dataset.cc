@@ -1,0 +1,15 @@
+#include "datasets/dataset.h"
+
+#include <sstream>
+
+namespace krcore {
+
+std::string Dataset::StatsString() const {
+  std::ostringstream os;
+  os << name << ": nodes=" << graph.num_vertices()
+     << " edges=" << graph.num_edges() << " davg=" << graph.average_degree()
+     << " dmax=" << graph.max_degree() << " metric=" << MetricName(metric);
+  return os.str();
+}
+
+}  // namespace krcore

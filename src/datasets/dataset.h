@@ -1,0 +1,32 @@
+#ifndef KRCORE_DATASETS_DATASET_H_
+#define KRCORE_DATASETS_DATASET_H_
+
+#include <string>
+
+#include "graph/graph.h"
+#include "similarity/attributes.h"
+#include "similarity/metrics.h"
+#include "similarity/similarity_oracle.h"
+
+namespace krcore {
+
+/// An attributed graph G = (V, E, A) bundled with its natural similarity
+/// metric — the unit the paper's experiments operate on.
+struct Dataset {
+  std::string name;
+  Graph graph;
+  AttributeTable attributes;
+  Metric metric = Metric::kJaccard;
+
+  /// Oracle bound to this dataset's attributes with threshold `r`.
+  SimilarityOracle MakeOracle(double r) const {
+    return SimilarityOracle(&attributes, metric, r);
+  }
+
+  /// One-line statistics string (Table 3 columns).
+  std::string StatsString() const;
+};
+
+}  // namespace krcore
+
+#endif  // KRCORE_DATASETS_DATASET_H_

@@ -1,0 +1,24 @@
+#include "graph/graph.h"
+
+#include <algorithm>
+
+namespace krcore {
+
+Graph::Graph(std::vector<EdgeId> offsets, std::vector<VertexId> neighbors)
+    : offsets_(std::move(offsets)), neighbors_(std::move(neighbors)) {
+  KRCORE_CHECK(!offsets_.empty());
+  KRCORE_CHECK(offsets_.back() == neighbors_.size());
+  for (VertexId u = 0; u < num_vertices(); ++u) {
+    max_degree_ = std::max(max_degree_, degree(u));
+    KRCORE_DCHECK(
+        std::is_sorted(neighbors_.begin() + offsets_[u],
+                       neighbors_.begin() + offsets_[u + 1]));
+  }
+}
+
+bool Graph::HasEdge(VertexId u, VertexId v) const {
+  auto nbrs = neighbors(u);
+  return std::binary_search(nbrs.begin(), nbrs.end(), v);
+}
+
+}  // namespace krcore

@@ -1,0 +1,68 @@
+#ifndef KRCORE_GRAPH_GRAPH_H_
+#define KRCORE_GRAPH_GRAPH_H_
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "util/logging.h"
+
+namespace krcore {
+
+/// Vertex identifier. Vertices are dense 0..n-1 integers.
+using VertexId = uint32_t;
+using EdgeId = uint64_t;
+
+inline constexpr VertexId kInvalidVertex = static_cast<VertexId>(-1);
+
+/// Immutable, undirected, simple graph in CSR (compressed sparse row) form.
+///
+/// Each undirected edge {u, v} is stored twice (once in each adjacency list),
+/// and adjacency lists are sorted ascending, enabling O(log d) membership
+/// probes and linear-time neighborhood merges. Construct via GraphBuilder.
+class Graph {
+ public:
+  Graph() = default;
+
+  /// Takes ownership of CSR arrays. offsets.size() == n+1,
+  /// neighbors.size() == offsets.back() == 2 * num_edges.
+  Graph(std::vector<EdgeId> offsets, std::vector<VertexId> neighbors);
+
+  VertexId num_vertices() const {
+    return offsets_.empty() ? 0 : static_cast<VertexId>(offsets_.size() - 1);
+  }
+
+  /// Number of undirected edges.
+  EdgeId num_edges() const { return neighbors_.size() / 2; }
+
+  uint32_t degree(VertexId u) const {
+    KRCORE_DCHECK(u < num_vertices());
+    return static_cast<uint32_t>(offsets_[u + 1] - offsets_[u]);
+  }
+
+  /// Sorted neighbor list of u.
+  std::span<const VertexId> neighbors(VertexId u) const {
+    KRCORE_DCHECK(u < num_vertices());
+    return {neighbors_.data() + offsets_[u],
+            neighbors_.data() + offsets_[u + 1]};
+  }
+
+  /// True iff {u,v} is an edge. O(log deg(u)).
+  bool HasEdge(VertexId u, VertexId v) const;
+
+  uint32_t max_degree() const { return max_degree_; }
+  double average_degree() const {
+    return num_vertices() == 0
+               ? 0.0
+               : 2.0 * static_cast<double>(num_edges()) / num_vertices();
+  }
+
+ private:
+  std::vector<EdgeId> offsets_;
+  std::vector<VertexId> neighbors_;
+  uint32_t max_degree_ = 0;
+};
+
+}  // namespace krcore
+
+#endif  // KRCORE_GRAPH_GRAPH_H_

@@ -1,0 +1,69 @@
+#include "graph/graph_io.h"
+
+#include <algorithm>
+#include <fstream>
+#include <sstream>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "graph/graph_builder.h"
+
+namespace krcore {
+
+Status WriteEdgeList(const Graph& g, const std::string& path) {
+  std::ofstream out(path);
+  if (!out) return Status::NotFound("cannot open for write: " + path);
+  out << "# " << g.num_vertices() << " " << g.num_edges() << "\n";
+  for (VertexId u = 0; u < g.num_vertices(); ++u) {
+    for (VertexId v : g.neighbors(u)) {
+      if (u < v) out << u << " " << v << "\n";
+    }
+  }
+  return out.good() ? Status::OK()
+                    : Status::Internal("write failed: " + path);
+}
+
+Status ReadEdgeList(const std::string& path, Graph* out) {
+  std::ifstream in(path);
+  if (!in) return Status::NotFound("cannot open for read: " + path);
+
+  std::vector<std::pair<uint64_t, uint64_t>> raw_edges;
+  uint64_t max_id = 0;
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.empty() || line[0] == '#') continue;
+    std::istringstream ls(line);
+    uint64_t u, v;
+    if (!(ls >> u >> v)) {
+      return Status::InvalidArgument("malformed edge line: " + line);
+    }
+    raw_edges.emplace_back(u, v);
+    max_id = std::max({max_id, u, v});
+  }
+
+  // Remap ids densely only when the id space is sparse.
+  bool dense = max_id < raw_edges.size() * 4 + 16;
+  if (dense) {
+    GraphBuilder b(static_cast<VertexId>(max_id + 1));
+    for (auto [u, v] : raw_edges) {
+      b.AddEdge(static_cast<VertexId>(u), static_cast<VertexId>(v));
+    }
+    *out = b.Build();
+    return Status::OK();
+  }
+  std::unordered_map<uint64_t, VertexId> remap;
+  remap.reserve(raw_edges.size() * 2);
+  auto Map = [&remap](uint64_t x) {
+    auto [it, inserted] = remap.emplace(x, static_cast<VertexId>(remap.size()));
+    (void)inserted;
+    return it->second;
+  };
+  std::vector<std::pair<VertexId, VertexId>> edges;
+  edges.reserve(raw_edges.size());
+  for (auto [u, v] : raw_edges) edges.emplace_back(Map(u), Map(v));
+  *out = MakeGraph(static_cast<VertexId>(remap.size()), edges);
+  return Status::OK();
+}
+
+}  // namespace krcore

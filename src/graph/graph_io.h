@@ -1,0 +1,21 @@
+#ifndef KRCORE_GRAPH_GRAPH_IO_H_
+#define KRCORE_GRAPH_GRAPH_IO_H_
+
+#include <string>
+
+#include "graph/graph.h"
+#include "util/status.h"
+
+namespace krcore {
+
+/// Writes the graph as a whitespace-separated edge list, one `u v` pair per
+/// line (each undirected edge once), preceded by a `# nodes edges` header.
+Status WriteEdgeList(const Graph& g, const std::string& path);
+
+/// Reads an edge list written by WriteEdgeList (or the SNAP text format:
+/// `#`-prefixed comments ignored, vertex ids remapped densely if needed).
+Status ReadEdgeList(const std::string& path, Graph* out);
+
+}  // namespace krcore
+
+#endif  // KRCORE_GRAPH_GRAPH_IO_H_

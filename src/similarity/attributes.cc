@@ -1,0 +1,55 @@
+#include "similarity/attributes.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+namespace krcore {
+
+SparseVector::SparseVector(std::vector<uint32_t> terms,
+                           std::vector<double> weights) {
+  KRCORE_CHECK(terms.size() == weights.size());
+  std::vector<size_t> order(terms.size());
+  std::iota(order.begin(), order.end(), 0);
+  std::sort(order.begin(), order.end(),
+            [&terms](size_t a, size_t b) { return terms[a] < terms[b]; });
+  terms_.reserve(terms.size());
+  weights_.reserve(terms.size());
+  for (size_t idx : order) {
+    uint32_t t = terms[idx];
+    double w = weights[idx];
+    KRCORE_DCHECK(w > 0.0);
+    if (!terms_.empty() && terms_.back() == t) {
+      weights_.back() += w;
+    } else {
+      terms_.push_back(t);
+      weights_.push_back(w);
+    }
+  }
+  for (double w : weights_) {
+    l1_ += w;
+    l2_ += w * w;
+  }
+  l2_ = std::sqrt(l2_);
+}
+
+SparseVector::SparseVector(std::vector<uint32_t> terms) {
+  std::vector<double> ones(terms.size(), 1.0);
+  *this = SparseVector(std::move(terms), std::move(ones));
+}
+
+AttributeTable AttributeTable::ForGeo(std::vector<GeoPoint> points) {
+  AttributeTable t;
+  t.kind_ = Kind::kGeo;
+  t.points_ = std::move(points);
+  return t;
+}
+
+AttributeTable AttributeTable::ForVectors(std::vector<SparseVector> vectors) {
+  AttributeTable t;
+  t.kind_ = Kind::kVector;
+  t.vectors_ = std::move(vectors);
+  return t;
+}
+
+}  // namespace krcore

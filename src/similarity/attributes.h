@@ -1,0 +1,82 @@
+#ifndef KRCORE_SIMILARITY_ATTRIBUTES_H_
+#define KRCORE_SIMILARITY_ATTRIBUTES_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "graph/graph.h"
+#include "util/status.h"
+
+namespace krcore {
+
+/// A 2-D point (geo-location). Distances are Euclidean in the same units the
+/// coordinates are expressed in (our geo-social generators use kilometers on
+/// a local tangent plane, matching the paper's km-valued thresholds).
+struct GeoPoint {
+  double x = 0.0;
+  double y = 0.0;
+};
+
+/// Sparse weighted keyword vector: sorted unique term ids with positive
+/// weights (e.g. DBLP "counted attended conferences / published journals").
+/// An unweighted keyword *set* is the special case weight == 1.
+class SparseVector {
+ public:
+  SparseVector() = default;
+
+  /// Terms need not be sorted; duplicates are merged by summing weights.
+  SparseVector(std::vector<uint32_t> terms, std::vector<double> weights);
+
+  /// Unweighted set constructor (all weights 1).
+  explicit SparseVector(std::vector<uint32_t> terms);
+
+  size_t size() const { return terms_.size(); }
+  bool empty() const { return terms_.empty(); }
+  const std::vector<uint32_t>& terms() const { return terms_; }
+  const std::vector<double>& weights() const { return weights_; }
+  double l1_norm() const { return l1_; }
+  double l2_norm() const { return l2_; }
+
+ private:
+  std::vector<uint32_t> terms_;   // sorted, unique
+  std::vector<double> weights_;   // parallel to terms_, all > 0
+  double l1_ = 0.0;
+  double l2_ = 0.0;
+};
+
+/// Per-vertex attribute table. Exactly one of the payloads is active,
+/// depending on which similarity metric a dataset uses.
+class AttributeTable {
+ public:
+  enum class Kind { kNone, kGeo, kVector };
+
+  AttributeTable() = default;
+
+  static AttributeTable ForGeo(std::vector<GeoPoint> points);
+  static AttributeTable ForVectors(std::vector<SparseVector> vectors);
+
+  Kind kind() const { return kind_; }
+  VertexId size() const {
+    return kind_ == Kind::kGeo ? static_cast<VertexId>(points_.size())
+                               : static_cast<VertexId>(vectors_.size());
+  }
+
+  const GeoPoint& point(VertexId u) const {
+    KRCORE_DCHECK(kind_ == Kind::kGeo && u < points_.size());
+    return points_[u];
+  }
+  const SparseVector& vector(VertexId u) const {
+    KRCORE_DCHECK(kind_ == Kind::kVector && u < vectors_.size());
+    return vectors_[u];
+  }
+
+ private:
+  Kind kind_ = Kind::kNone;
+  std::vector<GeoPoint> points_;
+  std::vector<SparseVector> vectors_;
+};
+
+}  // namespace krcore
+
+#endif  // KRCORE_SIMILARITY_ATTRIBUTES_H_

@@ -1,0 +1,122 @@
+#include "similarity/attributes_io.h"
+
+#include <fstream>
+#include <sstream>
+#include <vector>
+
+namespace krcore {
+
+Status WriteAttributes(const AttributeTable& table, const std::string& path) {
+  std::ofstream out(path);
+  if (!out) return Status::NotFound("cannot open for write: " + path);
+  if (table.kind() == AttributeTable::Kind::kGeo) {
+    out << "geo " << table.size() << "\n";
+    for (VertexId u = 0; u < table.size(); ++u) {
+      const GeoPoint& p = table.point(u);
+      out << p.x << " " << p.y << "\n";
+    }
+  } else if (table.kind() == AttributeTable::Kind::kVector) {
+    out << "vectors " << table.size() << "\n";
+    for (VertexId u = 0; u < table.size(); ++u) {
+      const SparseVector& v = table.vector(u);
+      out << v.size();
+      for (size_t i = 0; i < v.size(); ++i) {
+        out << " " << v.terms()[i];
+        if (v.weights()[i] != 1.0) out << ":" << v.weights()[i];
+      }
+      out << "\n";
+    }
+  } else {
+    return Status::InvalidArgument("attribute table has no payload");
+  }
+  return out.good() ? Status::OK() : Status::Internal("write failed: " + path);
+}
+
+namespace {
+
+/// Pulls the next non-comment line into `line`; false at EOF.
+bool NextLine(std::ifstream& in, std::string& line) {
+  while (std::getline(in, line)) {
+    size_t pos = line.find_first_not_of(" \t\r");
+    if (pos == std::string::npos) continue;
+    if (line[pos] == '#') continue;
+    return true;
+  }
+  return false;
+}
+
+}  // namespace
+
+Status ReadAttributes(const std::string& path, AttributeTable* out) {
+  std::ifstream in(path);
+  if (!in) return Status::NotFound("cannot open for read: " + path);
+
+  std::string line;
+  if (!NextLine(in, line)) {
+    return Status::InvalidArgument("empty attribute file: " + path);
+  }
+  std::istringstream header(line);
+  std::string kind;
+  uint64_t n = 0;
+  if (!(header >> kind >> n)) {
+    return Status::InvalidArgument("malformed attribute header: " + line);
+  }
+
+  if (kind == "geo") {
+    std::vector<GeoPoint> points;
+    points.reserve(n);
+    for (uint64_t i = 0; i < n; ++i) {
+      if (!NextLine(in, line)) {
+        return Status::InvalidArgument("truncated geo attribute file");
+      }
+      std::istringstream ls(line);
+      GeoPoint p;
+      if (!(ls >> p.x >> p.y)) {
+        return Status::InvalidArgument("malformed geo line: " + line);
+      }
+      points.push_back(p);
+    }
+    *out = AttributeTable::ForGeo(std::move(points));
+    return Status::OK();
+  }
+  if (kind == "vectors") {
+    std::vector<SparseVector> vectors;
+    vectors.reserve(n);
+    for (uint64_t i = 0; i < n; ++i) {
+      if (!NextLine(in, line)) {
+        return Status::InvalidArgument("truncated vector attribute file");
+      }
+      std::istringstream ls(line);
+      size_t m = 0;
+      if (!(ls >> m)) {
+        return Status::InvalidArgument("malformed vector line: " + line);
+      }
+      std::vector<uint32_t> terms;
+      std::vector<double> weights;
+      terms.reserve(m);
+      weights.reserve(m);
+      for (size_t j = 0; j < m; ++j) {
+        std::string token;
+        if (!(ls >> token)) {
+          return Status::InvalidArgument("short vector line: " + line);
+        }
+        auto colon = token.find(':');
+        if (colon == std::string::npos) {
+          terms.push_back(
+              static_cast<uint32_t>(std::strtoul(token.c_str(), nullptr, 10)));
+          weights.push_back(1.0);
+        } else {
+          terms.push_back(static_cast<uint32_t>(
+              std::strtoul(token.substr(0, colon).c_str(), nullptr, 10)));
+          weights.push_back(std::strtod(token.c_str() + colon + 1, nullptr));
+        }
+      }
+      vectors.emplace_back(std::move(terms), std::move(weights));
+    }
+    *out = AttributeTable::ForVectors(std::move(vectors));
+    return Status::OK();
+  }
+  return Status::InvalidArgument("unknown attribute kind: " + kind);
+}
+
+}  // namespace krcore

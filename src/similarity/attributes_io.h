@@ -1,0 +1,29 @@
+#ifndef KRCORE_SIMILARITY_ATTRIBUTES_IO_H_
+#define KRCORE_SIMILARITY_ATTRIBUTES_IO_H_
+
+#include <string>
+
+#include "similarity/attributes.h"
+#include "util/status.h"
+
+namespace krcore {
+
+/// Text serialization for attribute tables, so datasets can be exported and
+/// external data can be mined with the CLI tools.
+///
+/// Format (whitespace-separated, `#` comments allowed):
+///
+///   geo <n>            |  vectors <n>
+///   <x> <y>            |  <m> <term>:<weight> ... (m pairs)
+///   ... n lines ...    |  ... n lines ...
+///
+/// Weights equal to 1 may be written as a bare `<term>`.
+Status WriteAttributes(const AttributeTable& table, const std::string& path);
+
+/// Reads a file written by WriteAttributes (or hand-authored in the same
+/// format).
+Status ReadAttributes(const std::string& path, AttributeTable* out);
+
+}  // namespace krcore
+
+#endif  // KRCORE_SIMILARITY_ATTRIBUTES_IO_H_

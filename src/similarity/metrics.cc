@@ -1,0 +1,88 @@
+#include "similarity/metrics.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace krcore {
+
+bool IsDistanceMetric(Metric m) { return m == Metric::kEuclideanDistance; }
+
+std::string MetricName(Metric m) {
+  switch (m) {
+    case Metric::kJaccard:
+      return "jaccard";
+    case Metric::kWeightedJaccard:
+      return "weighted_jaccard";
+    case Metric::kCosine:
+      return "cosine";
+    case Metric::kEuclideanDistance:
+      return "euclidean_distance";
+  }
+  return "unknown";
+}
+
+namespace {
+
+/// Merge-walks the two sorted term lists, invoking f(wa, wb) for every term
+/// in the union with the (possibly zero) weights on each side.
+template <typename F>
+void MergeTerms(const SparseVector& a, const SparseVector& b, F&& f) {
+  const auto& ta = a.terms();
+  const auto& tb = b.terms();
+  const auto& wa = a.weights();
+  const auto& wb = b.weights();
+  size_t i = 0, j = 0;
+  while (i < ta.size() && j < tb.size()) {
+    if (ta[i] == tb[j]) {
+      f(wa[i], wb[j]);
+      ++i;
+      ++j;
+    } else if (ta[i] < tb[j]) {
+      f(wa[i], 0.0);
+      ++i;
+    } else {
+      f(0.0, wb[j]);
+      ++j;
+    }
+  }
+  for (; i < ta.size(); ++i) f(wa[i], 0.0);
+  for (; j < tb.size(); ++j) f(0.0, wb[j]);
+}
+
+}  // namespace
+
+double JaccardSimilarity(const SparseVector& a, const SparseVector& b) {
+  if (a.empty() && b.empty()) return 0.0;
+  size_t inter = 0, uni = 0;
+  MergeTerms(a, b, [&](double wa, double wb) {
+    ++uni;
+    if (wa > 0.0 && wb > 0.0) ++inter;
+  });
+  return static_cast<double>(inter) / static_cast<double>(uni);
+}
+
+double WeightedJaccardSimilarity(const SparseVector& a,
+                                 const SparseVector& b) {
+  if (a.empty() && b.empty()) return 0.0;
+  double min_sum = 0.0, max_sum = 0.0;
+  MergeTerms(a, b, [&](double wa, double wb) {
+    min_sum += std::min(wa, wb);
+    max_sum += std::max(wa, wb);
+  });
+  return max_sum == 0.0 ? 0.0 : min_sum / max_sum;
+}
+
+double CosineSimilarity(const SparseVector& a, const SparseVector& b) {
+  if (a.l2_norm() == 0.0 || b.l2_norm() == 0.0) return 0.0;
+  double dot = 0.0;
+  MergeTerms(a, b, [&](double wa, double wb) { dot += wa * wb; });
+  return dot / (a.l2_norm() * b.l2_norm());
+}
+
+double EuclideanDistance(const GeoPoint& a, const GeoPoint& b) {
+  double dx = a.x - b.x;
+  double dy = a.y - b.y;
+  return std::sqrt(dx * dx + dy * dy);
+}
+
+}  // namespace krcore

@@ -1,0 +1,34 @@
+#ifndef KRCORE_SIMILARITY_METRICS_H_
+#define KRCORE_SIMILARITY_METRICS_H_
+
+#include <string>
+
+#include "similarity/attributes.h"
+
+namespace krcore {
+
+/// Similarity metrics from the paper's experimental setup (Sec 8.1):
+/// Jaccard / weighted Jaccard on keyword vectors (DBLP, Pokec), Euclidean
+/// distance on geo-locations (Gowalla, Brightkite), plus cosine as an extra.
+enum class Metric {
+  kJaccard,          // |A ∩ B| / |A ∪ B| on term sets
+  kWeightedJaccard,  // sum(min(w)) / sum(max(w)) on weighted vectors
+  kCosine,           // dot(A,B) / (|A| |B|)
+  kEuclideanDistance // 2-D distance; *smaller* means more similar
+};
+
+/// True for metrics where vertices are similar when the value is <= r
+/// (distance metrics); false when similar means value >= r.
+bool IsDistanceMetric(Metric m);
+
+std::string MetricName(Metric m);
+
+/// Raw metric values on attribute payloads.
+double JaccardSimilarity(const SparseVector& a, const SparseVector& b);
+double WeightedJaccardSimilarity(const SparseVector& a, const SparseVector& b);
+double CosineSimilarity(const SparseVector& a, const SparseVector& b);
+double EuclideanDistance(const GeoPoint& a, const GeoPoint& b);
+
+}  // namespace krcore
+
+#endif  // KRCORE_SIMILARITY_METRICS_H_

@@ -1,0 +1,39 @@
+#include "similarity/similarity_oracle.h"
+
+#include "util/logging.h"
+
+namespace krcore {
+
+SimilarityOracle::SimilarityOracle(const AttributeTable* attributes,
+                                   Metric metric, double threshold)
+    : attributes_(attributes),
+      metric_(metric),
+      threshold_(threshold),
+      is_distance_(IsDistanceMetric(metric)) {
+  KRCORE_CHECK(attributes_ != nullptr);
+  if (is_distance_) {
+    KRCORE_CHECK(attributes_->kind() == AttributeTable::Kind::kGeo)
+        << "distance metric requires geo attributes";
+  } else {
+    KRCORE_CHECK(attributes_->kind() == AttributeTable::Kind::kVector)
+        << "set/vector metric requires vector attributes";
+  }
+}
+
+double SimilarityOracle::Value(VertexId u, VertexId v) const {
+  switch (metric_) {
+    case Metric::kJaccard:
+      return JaccardSimilarity(attributes_->vector(u), attributes_->vector(v));
+    case Metric::kWeightedJaccard:
+      return WeightedJaccardSimilarity(attributes_->vector(u),
+                                       attributes_->vector(v));
+    case Metric::kCosine:
+      return CosineSimilarity(attributes_->vector(u), attributes_->vector(v));
+    case Metric::kEuclideanDistance:
+      return EuclideanDistance(attributes_->point(u), attributes_->point(v));
+  }
+  KRCORE_CHECK(false) << "unreachable metric";
+  return 0.0;
+}
+
+}  // namespace krcore

@@ -1,0 +1,50 @@
+#ifndef KRCORE_SIMILARITY_SIMILARITY_ORACLE_H_
+#define KRCORE_SIMILARITY_SIMILARITY_ORACLE_H_
+
+#include <memory>
+
+#include "similarity/attributes.h"
+#include "similarity/metrics.h"
+
+namespace krcore {
+
+/// Facade that answers "are u and v similar under threshold r?" for a fixed
+/// metric over an attribute table. This is the only interface the (k,r)-core
+/// engine uses for similarity, so metrics are fully pluggable.
+///
+/// For similarity metrics (Jaccard etc.) `Similar` means sim >= r; for
+/// distance metrics it means dist <= r, following the paper's convention
+/// (footnote 1 in Sec 2.1).
+class SimilarityOracle {
+ public:
+  SimilarityOracle(const AttributeTable* attributes, Metric metric,
+                   double threshold);
+
+  /// Raw metric value.
+  double Value(VertexId u, VertexId v) const;
+
+  /// Threshold test with the metric-appropriate direction.
+  bool Similar(VertexId u, VertexId v) const {
+    double value = Value(u, v);
+    return is_distance_ ? value <= threshold_ : value >= threshold_;
+  }
+
+  Metric metric() const { return metric_; }
+  double threshold() const { return threshold_; }
+  bool is_distance() const { return is_distance_; }
+
+  /// Returns a copy with a different threshold (attribute table shared).
+  SimilarityOracle WithThreshold(double r) const {
+    return SimilarityOracle(attributes_, metric_, r);
+  }
+
+ private:
+  const AttributeTable* attributes_;  // not owned
+  Metric metric_;
+  double threshold_;
+  bool is_distance_;
+};
+
+}  // namespace krcore
+
+#endif  // KRCORE_SIMILARITY_SIMILARITY_ORACLE_H_

@@ -1,0 +1,75 @@
+#ifndef KRCORE_UTIL_LOGGING_H_
+#define KRCORE_UTIL_LOGGING_H_
+
+#include <cstdlib>
+#include <iostream>
+#include <sstream>
+#include <string>
+
+namespace krcore {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarning = 2, kError = 3 };
+
+/// Global log threshold; messages below it are discarded. Defaults to kInfo.
+/// Controlled by SetLogLevel or the KRCORE_LOG_LEVEL environment variable
+/// (0=debug .. 3=error), read once at startup.
+void SetLogLevel(LogLevel level);
+LogLevel GetLogLevel();
+
+namespace internal_logging {
+
+class LogMessage {
+ public:
+  LogMessage(LogLevel level, const char* file, int line, bool fatal = false);
+  ~LogMessage();
+
+  std::ostream& stream() { return stream_; }
+
+ private:
+  LogLevel level_;
+  bool fatal_;
+  std::ostringstream stream_;
+};
+
+/// Swallows the streamed expression when a log statement is compiled out.
+class NullStream {
+ public:
+  template <typename T>
+  NullStream& operator<<(const T&) {
+    return *this;
+  }
+};
+
+/// Turns a streamed expression into void so it can sit in a ternary branch
+/// ('&' binds looser than '<<' but tighter than '?:').
+class Voidify {
+ public:
+  void operator&(std::ostream&) {}
+};
+
+}  // namespace internal_logging
+
+#define KRCORE_LOG(level)                                                  \
+  ::krcore::internal_logging::LogMessage(::krcore::LogLevel::k##level,     \
+                                         __FILE__, __LINE__)               \
+      .stream()
+
+/// CHECK-style invariant assertion: always on, aborts with a message.
+#define KRCORE_CHECK(cond)                                                 \
+  (cond) ? (void)0                                                         \
+         : ::krcore::internal_logging::Voidify() &                         \
+               ::krcore::internal_logging::LogMessage(                     \
+                   ::krcore::LogLevel::kError, __FILE__, __LINE__, true)   \
+                   .stream()                                               \
+               << "Check failed: " #cond " "
+
+#ifndef NDEBUG
+#define KRCORE_DCHECK(cond) KRCORE_CHECK(cond)
+#else
+#define KRCORE_DCHECK(cond) \
+  while (false) ::krcore::internal_logging::NullStream() << !(cond)
+#endif
+
+}  // namespace krcore
+
+#endif  // KRCORE_UTIL_LOGGING_H_

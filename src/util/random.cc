@@ -1,0 +1,111 @@
+#include "util/random.h"
+
+#include <cmath>
+
+#include "util/logging.h"
+
+namespace krcore {
+namespace {
+
+inline uint64_t Rotl(uint64_t x, int k) { return (x << k) | (x >> (64 - k)); }
+
+// splitmix64, used to expand the seed into the xoshiro state.
+uint64_t SplitMix64(uint64_t& x) {
+  x += 0x9E3779B97F4A7C15ULL;
+  uint64_t z = x;
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+  return z ^ (z >> 31);
+}
+
+}  // namespace
+
+Rng::Rng(uint64_t seed) {
+  uint64_t s = seed;
+  for (auto& word : state_) word = SplitMix64(s);
+}
+
+uint64_t Rng::Next() {
+  const uint64_t result = Rotl(state_[1] * 5, 7) * 9;
+  const uint64_t t = state_[1] << 17;
+  state_[2] ^= state_[0];
+  state_[3] ^= state_[1];
+  state_[1] ^= state_[2];
+  state_[0] ^= state_[3];
+  state_[2] ^= t;
+  state_[3] = Rotl(state_[3], 45);
+  return result;
+}
+
+uint64_t Rng::NextBounded(uint64_t bound) {
+  KRCORE_DCHECK(bound > 0);
+  // Rejection sampling to avoid modulo bias.
+  uint64_t threshold = -bound % bound;
+  for (;;) {
+    uint64_t r = Next();
+    if (r >= threshold) return r % bound;
+  }
+}
+
+int64_t Rng::NextInt(int64_t lo, int64_t hi) {
+  KRCORE_DCHECK(lo <= hi);
+  return lo + static_cast<int64_t>(
+                  NextBounded(static_cast<uint64_t>(hi - lo) + 1));
+}
+
+double Rng::NextDouble() {
+  return static_cast<double>(Next() >> 11) * 0x1.0p-53;
+}
+
+double Rng::NextGaussian() {
+  if (have_gaussian_) {
+    have_gaussian_ = false;
+    return spare_gaussian_;
+  }
+  double u1 = NextDouble();
+  double u2 = NextDouble();
+  while (u1 <= 1e-300) u1 = NextDouble();
+  double mag = std::sqrt(-2.0 * std::log(u1));
+  spare_gaussian_ = mag * std::sin(2.0 * M_PI * u2);
+  have_gaussian_ = true;
+  return mag * std::cos(2.0 * M_PI * u2);
+}
+
+bool Rng::NextBernoulli(double p) {
+  if (p <= 0.0) return false;
+  if (p >= 1.0) return true;
+  return NextDouble() < p;
+}
+
+int64_t Rng::NextPowerLaw(int64_t lo, int64_t hi, double alpha) {
+  KRCORE_DCHECK(lo >= 1 && lo <= hi && alpha > 1.0);
+  // Inverse CDF of the continuous power law on [lo, hi+1), then floor.
+  double a = 1.0 - alpha;
+  double lo_pow = std::pow(static_cast<double>(lo), a);
+  double hi_pow = std::pow(static_cast<double>(hi) + 1.0, a);
+  double u = NextDouble();
+  double x = std::pow(lo_pow + u * (hi_pow - lo_pow), 1.0 / a);
+  int64_t v = static_cast<int64_t>(x);
+  if (v < lo) v = lo;
+  if (v > hi) v = hi;
+  return v;
+}
+
+uint64_t Rng::NextZipf(uint64_t n, double s) {
+  KRCORE_DCHECK(n > 0 && s > 1.0);
+  if (n == 1) return 0;
+  // Rejection sampling against the bounding function (Devroye).
+  double b = std::pow(2.0, s - 1.0);
+  for (;;) {
+    double u = NextDouble();
+    double v = NextDouble();
+    double x = std::floor(std::pow(u, -1.0 / (s - 1.0)));
+    if (x < 1.0 || x > static_cast<double>(n)) continue;
+    double t = std::pow(1.0 + 1.0 / x, s - 1.0);
+    if (v * x * (t - 1.0) / (b - 1.0) <= t / b) {
+      return static_cast<uint64_t>(x) - 1;
+    }
+  }
+}
+
+}  // namespace krcore

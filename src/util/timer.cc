@@ -1,0 +1,4 @@
+#include "util/timer.h"
+
+// Header-only; this translation unit exists so the build exposes a single
+// library target per module directory.

@@ -1,0 +1,99 @@
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+
+#include "similarity/attributes_io.h"
+
+namespace krcore {
+namespace {
+
+std::string TempPath(const std::string& name) {
+  return (std::filesystem::temp_directory_path() / name).string();
+}
+
+TEST(AttributesIo, GeoRoundTrip) {
+  std::vector<GeoPoint> pts{{1.5, -2.25}, {0.0, 0.0}, {1e6, 42.0}};
+  AttributeTable table = AttributeTable::ForGeo(pts);
+  std::string path = TempPath("krcore_attrs_geo.txt");
+  ASSERT_TRUE(WriteAttributes(table, path).ok());
+
+  AttributeTable back;
+  ASSERT_TRUE(ReadAttributes(path, &back).ok());
+  ASSERT_EQ(back.kind(), AttributeTable::Kind::kGeo);
+  ASSERT_EQ(back.size(), 3u);
+  for (VertexId u = 0; u < 3; ++u) {
+    EXPECT_DOUBLE_EQ(back.point(u).x, pts[u].x);
+    EXPECT_DOUBLE_EQ(back.point(u).y, pts[u].y);
+  }
+  std::remove(path.c_str());
+}
+
+TEST(AttributesIo, VectorRoundTripWithWeights) {
+  std::vector<SparseVector> vecs;
+  vecs.emplace_back(std::vector<uint32_t>{3, 1, 7});            // unit weights
+  vecs.emplace_back(std::vector<uint32_t>{2, 5},
+                    std::vector<double>{2.5, 1.0});             // mixed
+  vecs.emplace_back(std::vector<uint32_t>{});                   // empty
+  AttributeTable table = AttributeTable::ForVectors(vecs);
+  std::string path = TempPath("krcore_attrs_vec.txt");
+  ASSERT_TRUE(WriteAttributes(table, path).ok());
+
+  AttributeTable back;
+  ASSERT_TRUE(ReadAttributes(path, &back).ok());
+  ASSERT_EQ(back.kind(), AttributeTable::Kind::kVector);
+  ASSERT_EQ(back.size(), 3u);
+  for (VertexId u = 0; u < 3; ++u) {
+    EXPECT_EQ(back.vector(u).terms(), vecs[u].terms());
+    EXPECT_EQ(back.vector(u).weights(), vecs[u].weights());
+  }
+  std::remove(path.c_str());
+}
+
+TEST(AttributesIo, CommentsAndBlankLinesIgnored) {
+  std::string path = TempPath("krcore_attrs_comments.txt");
+  {
+    std::ofstream out(path);
+    out << "# attribute file\n\ngeo 2\n# first point\n0.5 0.5\n\n1.0 2.0\n";
+  }
+  AttributeTable back;
+  ASSERT_TRUE(ReadAttributes(path, &back).ok());
+  EXPECT_EQ(back.size(), 2u);
+  EXPECT_DOUBLE_EQ(back.point(1).y, 2.0);
+  std::remove(path.c_str());
+}
+
+TEST(AttributesIo, ErrorsAreReported) {
+  AttributeTable back;
+  EXPECT_EQ(ReadAttributes("/nonexistent/attrs.txt", &back).code(),
+            StatusCode::kNotFound);
+
+  std::string path = TempPath("krcore_attrs_bad.txt");
+  {
+    std::ofstream out(path);
+    out << "matrices 2\n1 2\n3 4\n";
+  }
+  EXPECT_TRUE(ReadAttributes(path, &back).IsInvalidArgument());
+  {
+    std::ofstream out(path);
+    out << "geo 3\n0 0\n";  // truncated
+  }
+  EXPECT_TRUE(ReadAttributes(path, &back).IsInvalidArgument());
+  {
+    std::ofstream out(path);
+    out << "vectors 1\n3 1 2\n";  // short vector line
+  }
+  EXPECT_TRUE(ReadAttributes(path, &back).IsInvalidArgument());
+  std::remove(path.c_str());
+}
+
+TEST(AttributesIo, WriteRejectsEmptyTable) {
+  AttributeTable empty;
+  std::string path = TempPath("krcore_attrs_none.txt");
+  EXPECT_TRUE(WriteAttributes(empty, path).IsInvalidArgument());
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace krcore

@@ -1,0 +1,184 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "clique/bron_kerbosch.h"
+#include "graph/graph_builder.h"
+#include "util/random.h"
+
+namespace krcore {
+namespace {
+
+Graph RandomGraph(uint32_t n, double p, uint64_t seed) {
+  Rng rng(seed);
+  GraphBuilder b(n);
+  for (VertexId u = 0; u < n; ++u) {
+    for (VertexId v = u + 1; v < n; ++v) {
+      if (rng.NextBernoulli(p)) b.AddEdge(u, v);
+    }
+  }
+  return b.Build();
+}
+
+/// Brute-force maximal cliques for cross-validation (n <= ~16).
+std::vector<std::vector<VertexId>> BruteForceMaximalCliques(const Graph& g) {
+  const VertexId n = g.num_vertices();
+  std::vector<uint32_t> cliques;
+  for (uint32_t mask = 1; mask < (1u << n); ++mask) {
+    bool is_clique = true;
+    for (VertexId u = 0; u < n && is_clique; ++u) {
+      if (!(mask >> u & 1)) continue;
+      for (VertexId v = u + 1; v < n && is_clique; ++v) {
+        if ((mask >> v & 1) && !g.HasEdge(u, v)) is_clique = false;
+      }
+    }
+    if (is_clique) cliques.push_back(mask);
+  }
+  std::vector<std::vector<VertexId>> maximal;
+  for (uint32_t a : cliques) {
+    bool contained = false;
+    for (uint32_t b : cliques) {
+      if (a != b && (a & b) == a) {
+        contained = true;
+        break;
+      }
+    }
+    if (!contained) {
+      std::vector<VertexId> c;
+      for (VertexId u = 0; u < n; ++u) {
+        if (a >> u & 1) c.push_back(u);
+      }
+      maximal.push_back(c);
+    }
+  }
+  std::sort(maximal.begin(), maximal.end());
+  return maximal;
+}
+
+TEST(BronKerbosch, TriangleIsOneClique) {
+  Graph g = MakeGraph(3, {{0, 1}, {1, 2}, {0, 2}});
+  auto cliques = AllMaximalCliques(g);
+  ASSERT_EQ(cliques.size(), 1u);
+  EXPECT_EQ(cliques[0], (std::vector<VertexId>{0, 1, 2}));
+}
+
+TEST(BronKerbosch, PathHasEdgeCliques) {
+  Graph g = MakeGraph(4, {{0, 1}, {1, 2}, {2, 3}});
+  auto cliques = AllMaximalCliques(g);
+  ASSERT_EQ(cliques.size(), 3u);
+}
+
+TEST(BronKerbosch, IsolatedVerticesAreSingletonCliques) {
+  Graph g = MakeGraph(3, {{0, 1}});
+  auto cliques = AllMaximalCliques(g);
+  ASSERT_EQ(cliques.size(), 2u);
+  EXPECT_EQ(cliques[0], (std::vector<VertexId>{0, 1}));
+  EXPECT_EQ(cliques[1], (std::vector<VertexId>{2}));
+}
+
+TEST(BronKerbosch, EmptyGraphHasNoCliques) {
+  Graph g;
+  EXPECT_TRUE(AllMaximalCliques(g).empty());
+}
+
+TEST(BronKerbosch, TwoTrianglesSharingAVertex) {
+  Graph g = MakeGraph(5, {{0, 1}, {1, 2}, {0, 2}, {2, 3}, {3, 4}, {2, 4}});
+  auto cliques = AllMaximalCliques(g);
+  ASSERT_EQ(cliques.size(), 2u);
+  EXPECT_EQ(cliques[0], (std::vector<VertexId>{0, 1, 2}));
+  EXPECT_EQ(cliques[1], (std::vector<VertexId>{2, 3, 4}));
+}
+
+TEST(BronKerbosch, MinSizeFilters) {
+  Graph g = MakeGraph(4, {{0, 1}, {1, 2}, {2, 3}});
+  CliqueOptions opts;
+  opts.min_size = 3;
+  size_t count = 0;
+  ASSERT_TRUE(EnumerateMaximalCliques(g, opts,
+                                      [&count](const std::vector<VertexId>&) {
+                                        ++count;
+                                        return true;
+                                      })
+                  .ok());
+  EXPECT_EQ(count, 0u);
+}
+
+TEST(BronKerbosch, CallbackCanStopEarly) {
+  Graph g = MakeGraph(4, {{0, 1}, {1, 2}, {2, 3}});
+  size_t count = 0;
+  ASSERT_TRUE(EnumerateMaximalCliques(g, CliqueOptions{},
+                                      [&count](const std::vector<VertexId>&) {
+                                        ++count;
+                                        return false;  // stop
+                                      })
+                  .ok());
+  EXPECT_EQ(count, 1u);
+}
+
+TEST(BronKerbosch, DeadlineAborts) {
+  Graph g = RandomGraph(60, 0.5, 3);
+  CliqueOptions opts;
+  opts.deadline = Deadline::AfterSeconds(-1.0);
+  Status s = EnumerateMaximalCliques(
+      g, opts, [](const std::vector<VertexId>&) { return true; });
+  EXPECT_TRUE(s.IsDeadlineExceeded());
+}
+
+class BronKerboschRandom : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(BronKerboschRandom, MatchesBruteForce) {
+  uint64_t seed = GetParam();
+  double p = 0.2 + 0.1 * (seed % 5);
+  Graph g = RandomGraph(12, p, seed);
+  EXPECT_EQ(AllMaximalCliques(g), BruteForceMaximalCliques(g)) << "seed "
+                                                               << seed;
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, BronKerboschRandom,
+                         ::testing::Range<uint64_t>(0, 20));
+
+TEST(BronKerbosch, EveryCliqueIsMaximalClique) {
+  Graph g = RandomGraph(40, 0.25, 11);
+  auto cliques = AllMaximalCliques(g);
+  EXPECT_FALSE(cliques.empty());
+  for (const auto& c : cliques) {
+    // Clique property.
+    for (size_t i = 0; i < c.size(); ++i) {
+      for (size_t j = i + 1; j < c.size(); ++j) {
+        EXPECT_TRUE(g.HasEdge(c[i], c[j]));
+      }
+    }
+    // Maximality: no vertex extends it.
+    for (VertexId u = 0; u < g.num_vertices(); ++u) {
+      if (std::binary_search(c.begin(), c.end(), u)) continue;
+      bool adjacent_to_all = true;
+      for (VertexId v : c) {
+        if (!g.HasEdge(u, v)) {
+          adjacent_to_all = false;
+          break;
+        }
+      }
+      EXPECT_FALSE(adjacent_to_all)
+          << "clique extensible by " << u;
+    }
+  }
+}
+
+TEST(BronKerbosch, NoDuplicateCliques) {
+  Graph g = RandomGraph(35, 0.3, 13);
+  auto cliques = AllMaximalCliques(g);
+  std::set<std::vector<VertexId>> unique(cliques.begin(), cliques.end());
+  EXPECT_EQ(unique.size(), cliques.size());
+}
+
+TEST(MaximumCliqueSize, KnownValues) {
+  Graph k4_plus_edge =
+      MakeGraph(6, {{0, 1}, {0, 2}, {0, 3}, {1, 2}, {1, 3}, {2, 3}, {4, 5}});
+  EXPECT_EQ(MaximumCliqueSize(k4_plus_edge), 4u);
+  Graph empty;
+  EXPECT_EQ(MaximumCliqueSize(empty), 0u);
+}
+
+}  // namespace
+}  // namespace krcore

@@ -1,0 +1,65 @@
+#include <gtest/gtest.h>
+
+#include "clique/bron_kerbosch.h"
+#include "coloring/greedy_coloring.h"
+#include "graph/graph_builder.h"
+#include "util/random.h"
+
+namespace krcore {
+namespace {
+
+Graph RandomGraph(uint32_t n, double p, uint64_t seed) {
+  Rng rng(seed);
+  GraphBuilder b(n);
+  for (VertexId u = 0; u < n; ++u) {
+    for (VertexId v = u + 1; v < n; ++v) {
+      if (rng.NextBernoulli(p)) b.AddEdge(u, v);
+    }
+  }
+  return b.Build();
+}
+
+TEST(GreedyColoring, EmptyAndEdgeless) {
+  Graph empty;
+  EXPECT_EQ(GreedyColorCount(empty), 0u);
+  Graph edgeless = MakeGraph(5, {});
+  EXPECT_EQ(GreedyColorCount(edgeless), 1u);
+}
+
+TEST(GreedyColoring, BipartiteUsesTwoColors) {
+  // Even cycle C6 is 2-colorable and largest-first greedy achieves it.
+  Graph g = MakeGraph(6, {{0, 1}, {1, 2}, {2, 3}, {3, 4}, {4, 5}, {5, 0}});
+  auto colors = GreedyColoring(g);
+  EXPECT_TRUE(IsProperColoring(g, colors));
+  EXPECT_LE(GreedyColorCount(g), 3u);
+}
+
+TEST(GreedyColoring, CliqueNeedsAllColors) {
+  Graph k5 = MakeGraph(5, {{0, 1}, {0, 2}, {0, 3}, {0, 4}, {1, 2}, {1, 3},
+                           {1, 4}, {2, 3}, {2, 4}, {3, 4}});
+  EXPECT_EQ(GreedyColorCount(k5), 5u);
+}
+
+TEST(GreedyColoring, IsProperDetectsViolation) {
+  Graph g = MakeGraph(2, {{0, 1}});
+  EXPECT_FALSE(IsProperColoring(g, {0, 0}));
+  EXPECT_TRUE(IsProperColoring(g, {0, 1}));
+}
+
+class ColoringRandom : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(ColoringRandom, ProperAndBoundsClique) {
+  Graph g = RandomGraph(30, 0.3, GetParam());
+  auto colors = GreedyColoring(g);
+  EXPECT_TRUE(IsProperColoring(g, colors));
+  // Color count is a valid upper bound on the maximum clique size.
+  EXPECT_GE(GreedyColorCount(g), MaximumCliqueSize(g));
+  // Greedy never exceeds max_degree + 1 colors.
+  EXPECT_LE(GreedyColorCount(g), g.max_degree() + 1);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, ColoringRandom,
+                         ::testing::Range<uint64_t>(0, 12));
+
+}  // namespace
+}  // namespace krcore

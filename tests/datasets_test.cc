@@ -1,0 +1,161 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "datasets/generators.h"
+#include "similarity/threshold.h"
+#include "util/random.h"
+
+namespace krcore {
+namespace {
+
+TEST(Datasets, GeoSocialShape) {
+  GeoSocialConfig c;
+  c.num_vertices = 2000;
+  c.average_degree = 6.0;
+  c.seed = 1;
+  Dataset d = MakeGeoSocial(c);
+  EXPECT_EQ(d.graph.num_vertices(), 2000u);
+  EXPECT_EQ(d.metric, Metric::kEuclideanDistance);
+  EXPECT_EQ(d.attributes.kind(), AttributeTable::Kind::kGeo);
+  // Average degree within 30% of the target (duplicate edges merge).
+  EXPECT_GT(d.graph.average_degree(), 0.7 * 6.0);
+  EXPECT_LE(d.graph.average_degree(), 6.0 + 0.1);
+  // Degree skew: max degree well above the average.
+  EXPECT_GT(d.graph.max_degree(), 4 * d.graph.average_degree());
+}
+
+TEST(Datasets, GeoSocialDeterministicInSeed) {
+  GeoSocialConfig c;
+  c.num_vertices = 500;
+  c.seed = 42;
+  Dataset a = MakeGeoSocial(c);
+  Dataset b = MakeGeoSocial(c);
+  EXPECT_EQ(a.graph.num_edges(), b.graph.num_edges());
+  c.seed = 43;
+  Dataset other = MakeGeoSocial(c);
+  EXPECT_NE(a.graph.num_edges(), other.graph.num_edges());
+}
+
+TEST(Datasets, GeoSocialSpatialHomophily) {
+  // Friends should be closer than random pairs on average.
+  GeoSocialConfig c;
+  c.num_vertices = 2000;
+  c.seed = 7;
+  Dataset d = MakeGeoSocial(c);
+  SimilarityOracle oracle = d.MakeOracle(0.0);
+  double friend_sum = 0.0;
+  uint64_t friend_count = 0;
+  for (VertexId u = 0; u < d.graph.num_vertices(); ++u) {
+    for (VertexId v : d.graph.neighbors(u)) {
+      if (u < v) {
+        friend_sum += oracle.Value(u, v);
+        ++friend_count;
+      }
+    }
+  }
+  Rng rng(5);
+  double random_sum = 0.0;
+  const int random_count = 20000;
+  for (int i = 0; i < random_count; ++i) {
+    VertexId u = static_cast<VertexId>(rng.NextBounded(d.graph.num_vertices()));
+    VertexId v = static_cast<VertexId>(rng.NextBounded(d.graph.num_vertices()));
+    if (u == v) continue;
+    random_sum += oracle.Value(u, v);
+  }
+  double friend_avg = friend_sum / friend_count;
+  double random_avg = random_sum / random_count;
+  EXPECT_LT(friend_avg, 0.5 * random_avg)
+      << "friends not spatially clustered";
+}
+
+TEST(Datasets, CoAuthorShapeAndSkew) {
+  CoAuthorConfig c;
+  c.num_vertices = 2000;
+  c.seed = 2;
+  Dataset d = MakeCoAuthor(c);
+  EXPECT_EQ(d.metric, Metric::kWeightedJaccard);
+  EXPECT_EQ(d.attributes.kind(), AttributeTable::Kind::kVector);
+  // Pairwise similarity distribution must be skewed: the top 1% threshold
+  // far exceeds the median.
+  SimilarityOracle probe = d.MakeOracle(0.0);
+  double median = TopPermilleThreshold(probe, 2000, 500.0, 50000);
+  double top10 = TopPermilleThreshold(probe, 2000, 10.0, 50000);
+  EXPECT_GT(top10, median + 0.05);
+}
+
+TEST(Datasets, CoAuthorAttributeHomophily) {
+  CoAuthorConfig c;
+  c.num_vertices = 1500;
+  c.seed = 3;
+  Dataset d = MakeCoAuthor(c);
+  SimilarityOracle oracle = d.MakeOracle(0.0);
+  double friend_sum = 0.0;
+  uint64_t friend_count = 0;
+  for (VertexId u = 0; u < d.graph.num_vertices(); ++u) {
+    for (VertexId v : d.graph.neighbors(u)) {
+      if (u < v) {
+        friend_sum += oracle.Value(u, v);
+        ++friend_count;
+      }
+    }
+  }
+  Rng rng(6);
+  double random_sum = 0.0;
+  const int random_count = 20000;
+  for (int i = 0; i < random_count; ++i) {
+    VertexId u = static_cast<VertexId>(rng.NextBounded(d.graph.num_vertices()));
+    VertexId v = static_cast<VertexId>(rng.NextBounded(d.graph.num_vertices()));
+    if (u == v) continue;
+    random_sum += oracle.Value(u, v);
+  }
+  EXPECT_GT(friend_sum / friend_count, 1.5 * random_sum / random_count)
+      << "co-authors not topically similar";
+}
+
+TEST(Datasets, InterestNetworkShape) {
+  InterestNetworkConfig c;
+  c.num_vertices = 1500;
+  c.seed = 4;
+  Dataset d = MakeInterestNetwork(c);
+  EXPECT_EQ(d.metric, Metric::kWeightedJaccard);
+  EXPECT_GT(d.graph.average_degree(), 0.6 * c.average_degree);
+}
+
+TEST(Datasets, RandomAttributedBothFlavors) {
+  RandomAttributedConfig c;
+  c.num_vertices = 100;
+  c.num_edges = 300;
+  c.geo = true;
+  Dataset geo = MakeRandomAttributed(c);
+  EXPECT_EQ(geo.metric, Metric::kEuclideanDistance);
+  c.geo = false;
+  Dataset kw = MakeRandomAttributed(c);
+  EXPECT_EQ(kw.metric, Metric::kJaccard);
+  EXPECT_EQ(kw.attributes.size(), 100u);
+}
+
+TEST(Datasets, PaperAnaloguesAllBuild) {
+  for (const char* name : {"brightkite", "gowalla", "dblp", "pokec"}) {
+    Dataset d = MakePaperAnalogue(name, 0.05, 9);
+    EXPECT_EQ(d.name, name);
+    EXPECT_GE(d.graph.num_vertices(), 500u);
+    EXPECT_GT(d.graph.num_edges(), 0u);
+  }
+}
+
+TEST(Datasets, PaperAnalogueDegreeOrdering) {
+  // Table 3 reports davg(pokec) > davg(dblp) > davg(brightkite) >
+  // davg(gowalla); the analogues must preserve the ordering.
+  double scale = 0.1;
+  Dataset gowalla = MakePaperAnalogue("gowalla", scale, 9);
+  Dataset brightkite = MakePaperAnalogue("brightkite", scale, 9);
+  Dataset dblp = MakePaperAnalogue("dblp", scale, 9);
+  Dataset pokec = MakePaperAnalogue("pokec", scale, 9);
+  EXPECT_GT(pokec.graph.average_degree(), dblp.graph.average_degree());
+  EXPECT_GT(dblp.graph.average_degree(), brightkite.graph.average_degree());
+  EXPECT_GT(brightkite.graph.average_degree(), gowalla.graph.average_degree());
+}
+
+}  // namespace
+}  // namespace krcore

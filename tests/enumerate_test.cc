@@ -1,0 +1,221 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "core/enumerate.h"
+#include "core/naive_enum.h"
+#include "core/result_set.h"
+#include "core/verify.h"
+#include "test_helpers.h"
+
+namespace krcore {
+namespace {
+
+using test::MakeGrouped;
+
+TEST(Enumerate, Figure1StyleExample) {
+  // Two similar dense groups bridged by dissimilar contacts (quickstart's
+  // graph): exactly the two groups are maximal (2,r)-cores.
+  auto fixture = MakeGrouped(
+      8,
+      {{0, 1}, {0, 2}, {0, 3}, {1, 2}, {1, 3}, {2, 3},     // group A (K4)
+       {4, 5}, {5, 6}, {6, 7}, {4, 7}, {4, 6}, {5, 7},     // group B (K4)
+       {3, 4}, {2, 5}},                                    // bridges
+      {0, 0, 0, 0, 1, 1, 1, 1});
+  auto oracle = fixture.MakeOracle();
+  auto result = EnumerateMaximalCores(fixture.graph, oracle, AdvEnumOptions(2));
+  ASSERT_TRUE(result.status.ok());
+  ASSERT_EQ(result.cores.size(), 2u);
+  EXPECT_EQ(result.cores[0], (VertexSet{0, 1, 2, 3}));
+  EXPECT_EQ(result.cores[1], (VertexSet{4, 5, 6, 7}));
+}
+
+TEST(Enumerate, EmptyWhenNoKCore) {
+  auto fixture = MakeGrouped(3, {{0, 1}, {1, 2}}, {0, 0, 0});
+  auto oracle = fixture.MakeOracle();
+  auto result = EnumerateMaximalCores(fixture.graph, oracle, AdvEnumOptions(2));
+  ASSERT_TRUE(result.status.ok());
+  EXPECT_TRUE(result.cores.empty());
+}
+
+TEST(Enumerate, WholeGraphWhenAllSimilar) {
+  // K5 all similar: the single maximal (3,r)-core is the whole clique.
+  std::vector<std::pair<VertexId, VertexId>> edges;
+  for (VertexId u = 0; u < 5; ++u) {
+    for (VertexId v = u + 1; v < 5; ++v) edges.emplace_back(u, v);
+  }
+  auto fixture = MakeGrouped(5, edges, {0, 0, 0, 0, 0});
+  auto oracle = fixture.MakeOracle();
+  auto result = EnumerateMaximalCores(fixture.graph, oracle, AdvEnumOptions(3));
+  ASSERT_TRUE(result.status.ok());
+  ASSERT_EQ(result.cores.size(), 1u);
+  EXPECT_EQ(result.cores[0], (VertexSet{0, 1, 2, 3, 4}));
+}
+
+TEST(Enumerate, OverlappingCoresBothReported) {
+  // Two K4s sharing an edge; the shared pair is similar to both groups,
+  // each K4 internally similar, but cross pairs (excluding shared) differ.
+  // Groups: 0,1 in group S (similar to everyone — place between); 2,3 group
+  // A; 4,5 group B. Points: A at x=0, S at x=0.9, B at x=1.8.
+  std::vector<uint32_t> groups{1, 1, 0, 0, 2, 2};
+  auto fixture = MakeGrouped(
+      6,
+      {{0, 1}, {0, 2}, {0, 3}, {1, 2}, {1, 3}, {2, 3},   // K4 on {0,1,2,3}
+       {0, 4}, {0, 5}, {1, 4}, {1, 5}, {4, 5}},          // K4 on {0,1,4,5}
+      groups);
+  std::vector<GeoPoint> pts{{0.9, 0}, {0.9, 0.1}, {0, 0},
+                            {0, 0.1}, {1.8, 0},  {1.8, 0.1}};
+  fixture.attributes = AttributeTable::ForGeo(std::move(pts));
+  auto oracle = fixture.MakeOracle();
+  auto result = EnumerateMaximalCores(fixture.graph, oracle, AdvEnumOptions(2));
+  ASSERT_TRUE(result.status.ok());
+  ASSERT_EQ(result.cores.size(), 2u);
+  EXPECT_EQ(result.cores[0], (VertexSet{0, 1, 2, 3}));
+  EXPECT_EQ(result.cores[1], (VertexSet{0, 1, 4, 5}));
+}
+
+TEST(Enumerate, DeadlineReturnsDeadlineExceeded) {
+  auto dataset = test::MakeRandomGeo(40, 200, 5);
+  SimilarityOracle oracle(&dataset.attributes, dataset.metric, 0.8);
+  EnumOptions opts = AdvEnumOptions(2);
+  opts.deadline = Deadline::AfterSeconds(-1.0);
+  auto result = EnumerateMaximalCores(dataset.graph, oracle, opts);
+  EXPECT_TRUE(result.status.IsDeadlineExceeded());
+}
+
+// ---------------------------------------------------------------------------
+// Oracle cross-validation: all four feature combinations must produce
+// exactly the naive algorithm's maximal core set, on random geo and keyword
+// datasets across k and r.
+// ---------------------------------------------------------------------------
+
+struct SweepParam {
+  uint64_t seed;
+  bool geo;
+  uint32_t k;
+  double r;
+};
+
+class EnumOracleSweep : public ::testing::TestWithParam<SweepParam> {};
+
+TEST_P(EnumOracleSweep, AllVariantsMatchNaive) {
+  const SweepParam& p = GetParam();
+  Dataset dataset = p.geo ? test::MakeRandomGeo(18, 60, p.seed)
+                          : test::MakeRandomKeyword(18, 60, p.seed);
+  SimilarityOracle oracle(&dataset.attributes, dataset.metric, p.r);
+
+  auto naive = EnumerateMaximalCoresNaive(dataset.graph, oracle, p.k);
+  ASSERT_TRUE(naive.status.ok()) << naive.status.ToString();
+
+  // Every reported core must satisfy the definition.
+  for (const auto& core : naive.cores) {
+    std::string why;
+    EXPECT_TRUE(IsKrCore(dataset.graph, oracle, p.k, core, &why)) << why;
+  }
+
+  struct Variant {
+    const char* name;
+    bool retention, early_termination, smart_check;
+  };
+  const Variant variants[] = {
+      {"BasicEnum", false, false, false},
+      {"BE+CR", true, false, false},
+      {"BE+CR+ET", true, true, false},
+      {"AdvEnum", true, true, true},
+  };
+  for (const auto& v : variants) {
+    EnumOptions opts;
+    opts.k = p.k;
+    opts.use_retention = v.retention;
+    opts.use_early_termination = v.early_termination;
+    opts.use_smart_maximal_check = v.smart_check;
+    auto result = EnumerateMaximalCores(dataset.graph, oracle, opts);
+    ASSERT_TRUE(result.status.ok()) << v.name;
+    EXPECT_EQ(result.cores, naive.cores)
+        << v.name << " diverges from naive (seed=" << p.seed
+        << " geo=" << p.geo << " k=" << p.k << " r=" << p.r << ")";
+  }
+}
+
+std::vector<SweepParam> MakeSweep() {
+  std::vector<SweepParam> params;
+  for (uint64_t seed = 0; seed < 6; ++seed) {
+    for (bool geo : {true, false}) {
+      for (uint32_t k : {2u, 3u}) {
+        // Geo: radius in the unit square; keyword: Jaccard threshold.
+        for (double r : geo ? std::vector<double>{0.35, 0.6, 0.9}
+                            : std::vector<double>{0.15, 0.34}) {
+          params.push_back({seed, geo, k, r});
+        }
+      }
+    }
+  }
+  return params;
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, EnumOracleSweep,
+                         ::testing::ValuesIn(MakeSweep()));
+
+// All vertex orders must yield the same result set (order affects cost only).
+class EnumOrderSweep : public ::testing::TestWithParam<VertexOrder> {};
+
+TEST_P(EnumOrderSweep, OrderDoesNotChangeResults) {
+  auto dataset = test::MakeRandomGeo(20, 70, 17);
+  SimilarityOracle oracle(&dataset.attributes, dataset.metric, 0.5);
+  auto naive = EnumerateMaximalCoresNaive(dataset.graph, oracle, 2);
+  ASSERT_TRUE(naive.status.ok());
+
+  EnumOptions opts = AdvEnumOptions(2);
+  opts.order = GetParam();
+  auto result = EnumerateMaximalCores(dataset.graph, oracle, opts);
+  ASSERT_TRUE(result.status.ok());
+  EXPECT_EQ(result.cores, naive.cores)
+      << "order " << VertexOrderName(GetParam());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, EnumOrderSweep,
+    ::testing::Values(VertexOrder::kRandom, VertexOrder::kDegree,
+                      VertexOrder::kDelta1, VertexOrder::kDelta2,
+                      VertexOrder::kDelta1ThenDelta2,
+                      VertexOrder::kLambdaCombo));
+
+TEST(Enumerate, AdvancedVisitsFewerNodesThanBasic) {
+  // On a mid-size instance the advanced techniques must shrink the search.
+  auto dataset = test::MakeRandomGeo(60, 300, 23);
+  SimilarityOracle oracle(&dataset.attributes, dataset.metric, 0.4);
+  auto basic =
+      EnumerateMaximalCores(dataset.graph, oracle, BasicEnumOptions(3));
+  auto adv = EnumerateMaximalCores(dataset.graph, oracle, AdvEnumOptions(3));
+  ASSERT_TRUE(basic.status.ok());
+  ASSERT_TRUE(adv.status.ok());
+  EXPECT_EQ(basic.cores, adv.cores);
+  EXPECT_LE(adv.stats.search_nodes, basic.stats.search_nodes);
+}
+
+TEST(Enumerate, CoresAreValidOnLargerRandomInstances) {
+  // No oracle (too big), but every reported core must satisfy the
+  // definition and be pairwise non-nested.
+  for (uint64_t seed : {101u, 202u}) {
+    auto dataset = test::MakeRandomGeo(80, 400, seed);
+    SimilarityOracle oracle(&dataset.attributes, dataset.metric, 0.45);
+    auto result =
+        EnumerateMaximalCores(dataset.graph, oracle, AdvEnumOptions(3));
+    ASSERT_TRUE(result.status.ok());
+    for (const auto& core : result.cores) {
+      std::string why;
+      EXPECT_TRUE(IsKrCore(dataset.graph, oracle, 3, core, &why)) << why;
+    }
+    for (size_t i = 0; i < result.cores.size(); ++i) {
+      for (size_t j = 0; j < result.cores.size(); ++j) {
+        if (i != j) {
+          EXPECT_FALSE(IsSubsetOf(result.cores[i], result.cores[j]))
+              << "nested cores reported";
+        }
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace krcore

@@ -1,0 +1,146 @@
+// End-to-end tests over the paper-analogue datasets: the full pipeline at
+// small scale, algorithm agreement, determinism, and result validity.
+
+#include "krcore.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "core/clique_method.h"
+#include "core/enumerate.h"
+#include "core/maximum.h"
+#include "core/verify.h"
+#include "datasets/generators.h"
+#include "similarity/threshold.h"
+
+namespace krcore {
+namespace {
+
+struct AnalogueCase {
+  const char* dataset;
+  bool geo;
+  double r_value;  // km or permille
+  uint32_t k;
+};
+
+class AnalogueIntegration : public ::testing::TestWithParam<AnalogueCase> {};
+
+TEST_P(AnalogueIntegration, AllAlgorithmsAgreeAndResultsAreValid) {
+  const auto& p = GetParam();
+  Dataset dataset = MakePaperAnalogue(p.dataset, /*scale=*/0.06, /*seed=*/17);
+  double r = p.geo ? p.r_value
+                   : TopPermilleThreshold(dataset.MakeOracle(0.0),
+                                          dataset.graph.num_vertices(),
+                                          p.r_value);
+  SimilarityOracle oracle = dataset.MakeOracle(r);
+
+  EnumOptions adv = AdvEnumOptions(p.k);
+  adv.deadline = Deadline::AfterSeconds(60.0);
+  auto cores = EnumerateMaximalCores(dataset.graph, oracle, adv);
+  ASSERT_TRUE(cores.status.ok()) << cores.status.ToString();
+
+  // Every reported core satisfies the definition.
+  for (const auto& core : cores.cores) {
+    std::string why;
+    ASSERT_TRUE(IsKrCore(dataset.graph, oracle, p.k, core, &why))
+        << p.dataset << ": " << why;
+  }
+
+  // The clique-based method agrees on the full maximal set.
+  CliqueMethodOptions copts;
+  copts.k = p.k;
+  copts.deadline = Deadline::AfterSeconds(60.0);
+  auto clique_cores = EnumerateByCliqueMethod(dataset.graph, oracle, copts);
+  ASSERT_TRUE(clique_cores.status.ok());
+  EXPECT_EQ(clique_cores.cores, cores.cores) << p.dataset;
+
+  // The maximum search returns the size of the largest maximal core.
+  size_t largest = 0;
+  for (const auto& c : cores.cores) largest = std::max(largest, c.size());
+  MaxOptions mopts = AdvMaxOptions(p.k);
+  mopts.deadline = Deadline::AfterSeconds(60.0);
+  auto maximum = FindMaximumCore(dataset.graph, oracle, mopts);
+  ASSERT_TRUE(maximum.status.ok());
+  EXPECT_EQ(maximum.best.size(), largest) << p.dataset;
+
+  // Determinism: a second run reproduces the result set exactly.
+  auto again = EnumerateMaximalCores(dataset.graph, oracle, adv);
+  ASSERT_TRUE(again.status.ok());
+  EXPECT_EQ(again.cores, cores.cores);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, AnalogueIntegration,
+    ::testing::Values(AnalogueCase{"gowalla", true, 10.0, 4},
+                      AnalogueCase{"gowalla", true, 100.0, 5},
+                      AnalogueCase{"brightkite", true, 50.0, 4},
+                      AnalogueCase{"dblp", false, 5.0, 5},
+                      AnalogueCase{"pokec", false, 8.0, 5}));
+
+TEST(Integration, VariantsAgreeOnAnalogue) {
+  Dataset dataset = MakePaperAnalogue("gowalla", 0.06, 23);
+  SimilarityOracle oracle = dataset.MakeOracle(20.0);
+  const uint32_t k = 4;
+  auto reference =
+      EnumerateMaximalCores(dataset.graph, oracle, AdvEnumOptions(k));
+  ASSERT_TRUE(reference.status.ok());
+  // Without candidate retention the search enumerates subsets of the large
+  // all-similar components and cannot finish at this scale (that variant is
+  // cross-validated against the naive oracle on small graphs in
+  // enumerate_test.cc), so the matrix here keeps retention on.
+  for (bool et : {false, true}) {
+    for (bool smart : {false, true}) {
+      EnumOptions opts;
+      opts.k = k;
+      opts.use_retention = true;
+      opts.use_early_termination = et;
+      opts.use_smart_maximal_check = smart;
+      opts.deadline = Deadline::AfterSeconds(120.0);
+      auto result = EnumerateMaximalCores(dataset.graph, oracle, opts);
+      ASSERT_TRUE(result.status.ok())
+          << "et=" << et << " smart=" << smart << ": "
+          << result.status.ToString();
+      EXPECT_EQ(result.cores, reference.cores)
+          << "et=" << et << " smart=" << smart;
+    }
+  }
+}
+
+TEST(Integration, MaximumMonotoneInK) {
+  // The maximum (k,r)-core size is non-increasing in k.
+  Dataset dataset = MakePaperAnalogue("dblp", 0.06, 29);
+  double r = TopPermilleThreshold(dataset.MakeOracle(0.0),
+                                  dataset.graph.num_vertices(), 8.0);
+  SimilarityOracle oracle = dataset.MakeOracle(r);
+  size_t prev = SIZE_MAX;
+  for (uint32_t k = 3; k <= 8; ++k) {
+    auto result = FindMaximumCore(dataset.graph, oracle, AdvMaxOptions(k));
+    ASSERT_TRUE(result.status.ok());
+    EXPECT_LE(result.best.size(), prev) << "k=" << k;
+    prev = result.best.size();
+  }
+}
+
+TEST(Integration, MaximalCoresGrowWithLooserThreshold) {
+  // For a distance metric, loosening r (larger radius) can only add
+  // similar pairs; the largest core size is non-decreasing.
+  Dataset dataset = MakePaperAnalogue("gowalla", 0.06, 31);
+  const uint32_t k = 4;
+  size_t prev = 0;
+  for (double r : {5.0, 20.0, 80.0, 320.0}) {
+    auto result =
+        FindMaximumCore(dataset.graph, dataset.MakeOracle(r), AdvMaxOptions(k));
+    ASSERT_TRUE(result.status.ok());
+    EXPECT_GE(result.best.size(), prev) << "r=" << r;
+    prev = result.best.size();
+  }
+}
+
+TEST(Integration, UmbrellaHeaderCompiles) {
+  // krcore.h is included first above; nothing else to assert.
+  SUCCEED();
+}
+
+}  // namespace
+}  // namespace krcore

@@ -1,0 +1,101 @@
+#include <gtest/gtest.h>
+
+#include "core/result_set.h"
+#include "core/verify.h"
+#include "test_helpers.h"
+
+namespace krcore {
+namespace {
+
+using test::MakeGrouped;
+
+TEST(ResultSet, InsertDeduplicates) {
+  ResultSet rs;
+  EXPECT_TRUE(rs.Insert({1, 2, 3}));
+  EXPECT_FALSE(rs.Insert({1, 2, 3}));
+  EXPECT_TRUE(rs.Insert({1, 2}));
+  EXPECT_EQ(rs.size(), 2u);
+}
+
+TEST(ResultSet, FilterNonMaximalRemovesNested) {
+  ResultSet rs;
+  rs.Insert({1, 2, 3, 4});
+  rs.Insert({1, 2, 3});      // nested
+  rs.Insert({3, 4, 5});      // overlapping but not nested
+  rs.Insert({9});            // disjoint
+  rs.FilterNonMaximal();
+  auto cores = rs.TakeSorted();
+  ASSERT_EQ(cores.size(), 3u);
+  EXPECT_EQ(cores[0], (VertexSet{1, 2, 3, 4}));
+  EXPECT_EQ(cores[1], (VertexSet{3, 4, 5}));
+  EXPECT_EQ(cores[2], (VertexSet{9}));
+}
+
+TEST(ResultSet, FilterKeepsEqualSets) {
+  ResultSet rs;
+  rs.Insert({1, 2});
+  rs.Insert({2, 3});
+  rs.FilterNonMaximal();
+  EXPECT_EQ(rs.size(), 2u);
+}
+
+TEST(ResultSet, TakeSortedIsLexicographic) {
+  ResultSet rs;
+  rs.Insert({5, 6});
+  rs.Insert({1, 9});
+  rs.Insert({1, 2, 3});
+  auto cores = rs.TakeSorted();
+  EXPECT_EQ(cores[0], (VertexSet{1, 2, 3}));
+  EXPECT_EQ(cores[1], (VertexSet{1, 9}));
+  EXPECT_EQ(cores[2], (VertexSet{5, 6}));
+}
+
+TEST(IsSubsetOf, Basics) {
+  EXPECT_TRUE(IsSubsetOf({}, {1, 2}));
+  EXPECT_TRUE(IsSubsetOf({1, 2}, {1, 2}));
+  EXPECT_TRUE(IsSubsetOf({2}, {1, 2, 3}));
+  EXPECT_FALSE(IsSubsetOf({1, 4}, {1, 2, 3}));
+  EXPECT_FALSE(IsSubsetOf({1, 2, 3}, {1, 2}));
+}
+
+TEST(Verify, AcceptsValidCore) {
+  auto fixture = MakeGrouped(3, {{0, 1}, {1, 2}, {0, 2}}, {0, 0, 0});
+  auto oracle = fixture.MakeOracle();
+  std::string why;
+  EXPECT_TRUE(IsKrCore(fixture.graph, oracle, 2, {0, 1, 2}, &why)) << why;
+}
+
+TEST(Verify, RejectsStructureViolation) {
+  auto fixture = MakeGrouped(3, {{0, 1}, {1, 2}}, {0, 0, 0});
+  auto oracle = fixture.MakeOracle();
+  std::string why;
+  EXPECT_FALSE(IsKrCore(fixture.graph, oracle, 2, {0, 1, 2}, &why));
+  EXPECT_EQ(why, "structure constraint violated");
+}
+
+TEST(Verify, RejectsSimilarityViolation) {
+  auto fixture = MakeGrouped(3, {{0, 1}, {1, 2}, {0, 2}}, {0, 0, 1});
+  auto oracle = fixture.MakeOracle();
+  std::string why;
+  EXPECT_FALSE(IsKrCore(fixture.graph, oracle, 1, {0, 1, 2}, &why));
+  EXPECT_EQ(why, "similarity constraint violated");
+}
+
+TEST(Verify, RejectsDisconnected) {
+  auto fixture = MakeGrouped(
+      6, {{0, 1}, {1, 2}, {0, 2}, {3, 4}, {4, 5}, {3, 5}}, {0, 0, 0, 0, 0, 0});
+  auto oracle = fixture.MakeOracle();
+  std::string why;
+  EXPECT_FALSE(IsKrCore(fixture.graph, oracle, 2, {0, 1, 2, 3, 4, 5}, &why));
+  EXPECT_EQ(why, "induced subgraph disconnected");
+}
+
+TEST(Verify, RejectsEmptyAndUnsorted) {
+  auto fixture = MakeGrouped(3, {{0, 1}, {1, 2}, {0, 2}}, {0, 0, 0});
+  auto oracle = fixture.MakeOracle();
+  EXPECT_FALSE(IsKrCore(fixture.graph, oracle, 1, {}));
+  EXPECT_FALSE(IsKrCore(fixture.graph, oracle, 1, {2, 0, 1}));
+}
+
+}  // namespace
+}  // namespace krcore

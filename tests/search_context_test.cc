@@ -1,0 +1,341 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "core/pipeline.h"
+#include "core/search_context.h"
+#include "test_helpers.h"
+
+namespace krcore {
+namespace {
+
+using test::MakeGrouped;
+
+/// Prepares a single component from the grouped fixture; fails the test if
+/// preprocessing does not yield exactly one component.
+ComponentContext PrepareSingle(const test::GroupedSimilarity& fixture,
+                               uint32_t k) {
+  auto oracle = fixture.MakeOracle();
+  PipelineOptions opts;
+  opts.k = k;
+  std::vector<ComponentContext> comps;
+  Status s = PrepareComponents(fixture.graph, oracle, opts, &comps);
+  EXPECT_TRUE(s.ok()) << s.ToString();
+  EXPECT_EQ(comps.size(), 1u);
+  return std::move(comps[0]);
+}
+
+/// Cross-checks every maintained counter against a from-scratch recompute.
+void CheckInvariants(const SearchContext& ctx) {
+  const ComponentContext& comp = ctx.component();
+  const VertexId n = comp.size();
+  uint64_t pairs_c = 0, edges_mc = 0;
+  VertexId sf = 0;
+  for (VertexId u = 0; u < n; ++u) {
+    uint32_t deg_mc = 0, deg_m = 0;
+    for (VertexId v : comp.graph.neighbors(u)) {
+      VertexState sv = ctx.state(v);
+      if (sv == VertexState::kInC || sv == VertexState::kInM) ++deg_mc;
+      if (sv == VertexState::kInM) ++deg_m;
+    }
+    uint32_t dp_c = 0, dp_m = 0, dp_e = 0;
+    for (VertexId v : comp.dissimilar[u]) {
+      VertexState sv = ctx.state(v);
+      dp_c += sv == VertexState::kInC;
+      dp_m += sv == VertexState::kInM;
+      dp_e += sv == VertexState::kInE;
+    }
+    VertexState su = ctx.state(u);
+    EXPECT_EQ(ctx.deg_m(u), deg_m) << "deg_m mismatch at " << u;
+    EXPECT_EQ(ctx.dp_c(u), dp_c) << "dp_c mismatch at " << u;
+    EXPECT_EQ(ctx.dp_m(u), dp_m) << "dp_m mismatch at " << u;
+    if (su == VertexState::kInC || su == VertexState::kInM) {
+      EXPECT_EQ(ctx.deg_mc(u), deg_mc) << "deg_mc mismatch at " << u;
+      EXPECT_EQ(ctx.dp_e(u), dp_e) << "dp_e mismatch at " << u;
+      edges_mc += deg_mc;
+      if (su == VertexState::kInC) {
+        pairs_c += dp_c;
+        if (dp_c == 0) ++sf;
+      }
+      // Invariants (Eq 1, Eq 2).
+      EXPECT_GE(deg_mc, ctx.k());
+      if (su == VertexState::kInM) EXPECT_EQ(dp_c + dp_m, 0u);
+    }
+    if (su == VertexState::kInE) {
+      EXPECT_EQ(dp_m, 0u) << "E member dissimilar to M at " << u;
+    }
+  }
+  EXPECT_EQ(ctx.dissimilar_pairs_c(), pairs_c / 2);
+  EXPECT_EQ(ctx.edges_mc(), edges_mc / 2);
+  EXPECT_EQ(ctx.sf_count(), sf);
+}
+
+TEST(VertexList, BasicOperations) {
+  VertexList list;
+  list.Init(5);
+  EXPECT_TRUE(list.empty());
+  list.PushFront(2);
+  list.PushFront(4);
+  EXPECT_EQ(list.size(), 2u);
+  EXPECT_TRUE(list.Contains(2));
+  EXPECT_FALSE(list.Contains(3));
+  auto members = list.Materialize();
+  std::sort(members.begin(), members.end());
+  EXPECT_EQ(members, (std::vector<VertexId>{2, 4}));
+  list.Remove(4);
+  EXPECT_EQ(list.size(), 1u);
+  EXPECT_EQ(list.First(), 2u);
+  EXPECT_EQ(list.Next(2), kInvalidVertex);
+}
+
+TEST(VertexList, RemoveMiddleAndReinsert) {
+  VertexList list;
+  list.Init(4);
+  list.PushFront(0);
+  list.PushFront(1);
+  list.PushFront(2);
+  list.Remove(1);
+  list.PushFront(1);
+  auto members = list.Materialize();
+  std::sort(members.begin(), members.end());
+  EXPECT_EQ(members, (std::vector<VertexId>{0, 1, 2}));
+}
+
+TEST(SearchContext, InitialStateAllCandidates) {
+  auto fixture = MakeGrouped(4, {{0, 1}, {1, 2}, {2, 3}, {3, 0}, {0, 2}},
+                             {0, 0, 0, 0});
+  auto comp = PrepareSingle(fixture, 2);
+  SearchContext ctx(comp, 2, true);
+  EXPECT_EQ(ctx.c_list().size(), 4u);
+  EXPECT_TRUE(ctx.m_list().empty());
+  EXPECT_TRUE(ctx.e_list().empty());
+  EXPECT_TRUE(ctx.CandidatesAllSimilarityFree());
+  CheckInvariants(ctx);
+}
+
+TEST(SearchContext, ExpandMovesToMAndPrunesDissimilar) {
+  // C4 where the diagonal pair (0,2) is dissimilar (see pipeline test).
+  auto fixture = MakeGrouped(4, {{0, 1}, {1, 2}, {2, 3}, {3, 0}},
+                             {0, 0, 0, 0});
+  std::vector<GeoPoint> pts{{0.0, 0.0}, {0.9, 0.0}, {1.8, 0.0}, {0.9, 0.0}};
+  fixture.attributes = AttributeTable::ForGeo(std::move(pts));
+  auto comp = PrepareSingle(fixture, 2);
+  // Find the local id of parent 0.
+  VertexId l0 = kInvalidVertex;
+  for (VertexId i = 0; i < comp.size(); ++i) {
+    if (comp.to_parent[i] == 0) l0 = i;
+  }
+  SearchContext ctx(comp, 2, true);
+  // Expanding 0 forces its dissimilar partner out; the C4 then collapses
+  // (remaining vertices drop below degree 2), killing the branch.
+  EXPECT_FALSE(ctx.Expand(l0));
+}
+
+TEST(SearchContext, ExpandKeepsBranchAliveWhenSupported) {
+  // Two triangles sharing an edge: 0-1-2 and 1-2-3; pair (0,3) dissimilar.
+  auto fixture = MakeGrouped(4, {{0, 1}, {0, 2}, {1, 2}, {1, 3}, {2, 3}},
+                             {0, 0, 0, 0});
+  std::vector<GeoPoint> pts{{0.0, 0.0}, {0.9, 0.0}, {0.9, 0.3}, {1.8, 0.0}};
+  fixture.attributes = AttributeTable::ForGeo(std::move(pts));
+  auto comp = PrepareSingle(fixture, 2);
+  VertexId l0 = kInvalidVertex, l3 = kInvalidVertex;
+  for (VertexId i = 0; i < comp.size(); ++i) {
+    if (comp.to_parent[i] == 0) l0 = i;
+    if (comp.to_parent[i] == 3) l3 = i;
+  }
+  SearchContext ctx(comp, 2, true);
+  ASSERT_TRUE(ctx.Expand(l0));
+  EXPECT_EQ(ctx.state(l0), VertexState::kInM);
+  // 3 was discarded (dissimilar to M) — not into E.
+  EXPECT_EQ(ctx.state(l3), VertexState::kRemoved);
+  EXPECT_EQ(ctx.c_list().size(), 2u);
+  CheckInvariants(ctx);
+  // Now C == SF(C): remaining triangle is a (2,r)-core.
+  EXPECT_TRUE(ctx.CandidatesAllSimilarityFree());
+}
+
+TEST(SearchContext, ShrinkSendsSimilarVertexToE) {
+  // K4, all similar: shrinking any vertex puts it in E; remaining triangle
+  // still satisfies k=2.
+  auto fixture = MakeGrouped(
+      4, {{0, 1}, {0, 2}, {0, 3}, {1, 2}, {1, 3}, {2, 3}}, {0, 0, 0, 0});
+  auto comp = PrepareSingle(fixture, 2);
+  SearchContext ctx(comp, 2, true);
+  ASSERT_TRUE(ctx.Shrink(0));
+  EXPECT_EQ(ctx.state(0), VertexState::kInE);
+  EXPECT_EQ(ctx.e_list().size(), 1u);
+  EXPECT_EQ(ctx.c_list().size(), 3u);
+  CheckInvariants(ctx);
+}
+
+TEST(SearchContext, ShrinkWithoutExcludedTrackingRemoves) {
+  auto fixture = MakeGrouped(
+      4, {{0, 1}, {0, 2}, {0, 3}, {1, 2}, {1, 3}, {2, 3}}, {0, 0, 0, 0});
+  auto comp = PrepareSingle(fixture, 2);
+  SearchContext ctx(comp, 2, /*track_excluded=*/false);
+  ASSERT_TRUE(ctx.Shrink(0));
+  EXPECT_EQ(ctx.state(0), VertexState::kRemoved);
+  EXPECT_TRUE(ctx.e_list().empty());
+}
+
+TEST(SearchContext, StructurePeelCascades) {
+  // Pentagon with a chord: 0-1-2-3-4-0 plus 1-3. Shrinking 0 drops 4 (deg 1)
+  // then... 4's removal drops nothing else; remaining 1,2,3 triangle-ish:
+  // deg(1)=2 (2,3), deg(2)=2 (1,3), deg(3)=2 (1,2): alive.
+  auto fixture = MakeGrouped(
+      5, {{0, 1}, {1, 2}, {2, 3}, {3, 4}, {4, 0}, {1, 3}}, {0, 0, 0, 0, 0});
+  auto comp = PrepareSingle(fixture, 2);
+  SearchContext ctx(comp, 2, true);
+  ASSERT_TRUE(ctx.Shrink(0));
+  EXPECT_EQ(ctx.state(4), VertexState::kInE);  // peeled, similar to empty M
+  EXPECT_EQ(ctx.c_list().size(), 3u);
+  CheckInvariants(ctx);
+}
+
+TEST(SearchContext, DeadWhenMVertexLosesSupport) {
+  // Triangle: expand all three, then... no shrink can occur. Instead: C4,
+  // expand 0 and 1 (adjacent), then shrink 2 -> 0 or 1 drops below k=2.
+  auto fixture = MakeGrouped(4, {{0, 1}, {1, 2}, {2, 3}, {3, 0}},
+                             {0, 0, 0, 0});
+  auto comp = PrepareSingle(fixture, 2);
+  SearchContext ctx(comp, 2, true);
+  ASSERT_TRUE(ctx.Expand(0));
+  ASSERT_TRUE(ctx.Expand(1));
+  EXPECT_FALSE(ctx.Shrink(2));
+  EXPECT_TRUE(ctx.dead());
+}
+
+TEST(SearchContext, RewindRestoresEverything) {
+  auto fixture = MakeGrouped(
+      5, {{0, 1}, {1, 2}, {2, 3}, {3, 4}, {4, 0}, {1, 3}}, {0, 0, 0, 0, 0});
+  auto comp = PrepareSingle(fixture, 2);
+  SearchContext ctx(comp, 2, true);
+  CheckInvariants(ctx);
+  size_t mark = ctx.Mark();
+
+  ASSERT_TRUE(ctx.Shrink(0));
+  CheckInvariants(ctx);
+  size_t mark2 = ctx.Mark();
+  ASSERT_TRUE(ctx.Expand(1));
+  CheckInvariants(ctx);
+  ctx.RewindTo(mark2);
+  CheckInvariants(ctx);
+  EXPECT_EQ(ctx.c_list().size(), 3u);
+  ctx.RewindTo(mark);
+  CheckInvariants(ctx);
+  EXPECT_EQ(ctx.c_list().size(), 5u);
+  EXPECT_TRUE(ctx.m_list().empty());
+  EXPECT_TRUE(ctx.e_list().empty());
+  for (VertexId u = 0; u < comp.size(); ++u) {
+    EXPECT_EQ(ctx.state(u), VertexState::kInC);
+  }
+}
+
+TEST(SearchContext, RewindAfterDeadBranch) {
+  auto fixture = MakeGrouped(4, {{0, 1}, {1, 2}, {2, 3}, {3, 0}},
+                             {0, 0, 0, 0});
+  auto comp = PrepareSingle(fixture, 2);
+  SearchContext ctx(comp, 2, true);
+  size_t mark = ctx.Mark();
+  ASSERT_TRUE(ctx.Expand(0));
+  ASSERT_TRUE(ctx.Expand(1));
+  EXPECT_FALSE(ctx.Shrink(2));
+  ctx.RewindTo(mark);
+  EXPECT_FALSE(ctx.dead());
+  CheckInvariants(ctx);
+  EXPECT_EQ(ctx.c_list().size(), 4u);
+}
+
+TEST(SearchContext, PromotionMovesSupportedSfVertices) {
+  // K4: expand 0 and 1; vertices 2, 3 are similarity free with deg(u,M)=2
+  // — promotion should move both into M (k=2).
+  auto fixture = MakeGrouped(
+      4, {{0, 1}, {0, 2}, {0, 3}, {1, 2}, {1, 3}, {2, 3}}, {0, 0, 0, 0});
+  auto comp = PrepareSingle(fixture, 2);
+  SearchContext ctx(comp, 2, true);
+  ASSERT_TRUE(ctx.Expand(0));
+  ASSERT_TRUE(ctx.Expand(1));
+  uint64_t promotions = 0;
+  ASSERT_TRUE(ctx.PromoteSimilarityFree(&promotions));
+  EXPECT_EQ(promotions, 2u);
+  EXPECT_EQ(ctx.m_list().size(), 4u);
+  EXPECT_TRUE(ctx.c_list().empty());
+  CheckInvariants(ctx);
+}
+
+TEST(SearchContext, ConnectivityReductionDiscardsDetachedCandidates) {
+  // Two triangles, all similar, connected via a single vertex x of degree 2
+  // to each side... Simplest: build one component with a cut vertex whose
+  // expansion then removal disconnects. Use: triangles {0,1,2} and {3,4,5}
+  // joined by edges 2-6, 3-6, 2-3 (vertex 6 has deg 2).
+  auto fixture = MakeGrouped(
+      7,
+      {{0, 1}, {0, 2}, {1, 2}, {3, 4}, {3, 5}, {4, 5}, {2, 6}, {3, 6}, {2, 3}},
+      {0, 0, 0, 0, 0, 0, 0});
+  auto comp = PrepareSingle(fixture, 2);
+  SearchContext ctx(comp, 2, true);
+  // Expand parent-0; then shrink the bridge vertices: discarding parent-2
+  // kills {0,1,2}... choose instead: expand 0, shrink 6 (bridge helper),
+  // shrink 3 -> component {3,4,5} + leftovers detach from M's side.
+  VertexId l0 = kInvalidVertex, l3 = kInvalidVertex, l6 = kInvalidVertex;
+  for (VertexId i = 0; i < comp.size(); ++i) {
+    if (comp.to_parent[i] == 0) l0 = i;
+    if (comp.to_parent[i] == 3) l3 = i;
+    if (comp.to_parent[i] == 6) l6 = i;
+  }
+  ASSERT_TRUE(ctx.Expand(l0));
+  ASSERT_TRUE(ctx.Shrink(l6));
+  ASSERT_TRUE(ctx.Shrink(l3));
+  // {4,5} lost vertex 3: their degrees drop below 2 and they peel anyway;
+  // after the cascade only M's triangle remains.
+  EXPECT_EQ(ctx.m_list().size() + ctx.c_list().size(), 3u);
+  CheckInvariants(ctx);
+}
+
+// Randomized trail torture: long random expand/shrink/rewind sequences keep
+// all counters consistent.
+class SearchContextFuzz : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(SearchContextFuzz, RandomOpsKeepInvariants) {
+  auto dataset = test::MakeRandomGeo(24, 80, GetParam());
+  SimilarityOracle oracle(&dataset.attributes, dataset.metric, 0.5);
+  PipelineOptions opts;
+  opts.k = 2;
+  std::vector<ComponentContext> comps;
+  ASSERT_TRUE(PrepareComponents(dataset.graph, oracle, opts, &comps).ok());
+  Rng rng(GetParam() * 77 + 1);
+  for (auto& comp : comps) {
+    SearchContext ctx(comp, 2, true);
+    std::vector<size_t> marks;
+    for (int step = 0; step < 200; ++step) {
+      CheckInvariants(ctx);
+      double roll = rng.NextDouble();
+      if (roll < 0.3 && !marks.empty()) {
+        ctx.RewindTo(marks.back());
+        marks.pop_back();
+        continue;
+      }
+      if (ctx.c_list().empty()) {
+        if (marks.empty()) break;
+        ctx.RewindTo(marks.back());
+        marks.pop_back();
+        continue;
+      }
+      // Pick a random candidate.
+      auto members = ctx.c_list().Materialize();
+      VertexId u = members[rng.NextBounded(members.size())];
+      marks.push_back(ctx.Mark());
+      bool alive = rng.NextBernoulli(0.5) ? ctx.Expand(u) : ctx.Shrink(u);
+      if (!alive) {
+        ctx.RewindTo(marks.back());
+        marks.pop_back();
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, SearchContextFuzz,
+                         ::testing::Range<uint64_t>(0, 10));
+
+}  // namespace
+}  // namespace krcore

@@ -1,0 +1,130 @@
+#include <gtest/gtest.h>
+
+#include "core/pipeline.h"
+#include "core/search_context.h"
+#include "core/search_order.h"
+#include "test_helpers.h"
+
+namespace krcore {
+namespace {
+
+using test::MakeGrouped;
+
+ComponentContext PrepareSingle(const test::GroupedSimilarity& fixture,
+                               uint32_t k) {
+  auto oracle = fixture.MakeOracle();
+  PipelineOptions opts;
+  opts.k = k;
+  std::vector<ComponentContext> comps;
+  Status s = PrepareComponents(fixture.graph, oracle, opts, &comps);
+  EXPECT_TRUE(s.ok()) << s.ToString();
+  EXPECT_EQ(comps.size(), 1u);
+  return std::move(comps[0]);
+}
+
+/// A component with one dissimilar pair so measurement orders have signal:
+/// two K4s sharing two vertices; the outer corners are dissimilar.
+struct Fixture {
+  ComponentContext comp;
+  SearchContext ctx;
+  Fixture(ComponentContext c, uint32_t k)
+      : comp(std::move(c)), ctx(comp, k, true) {}
+};
+
+ComponentContext MakeSignalComponent() {
+  std::vector<uint32_t> groups{1, 1, 0, 0, 2, 2};
+  auto fixture = MakeGrouped(
+      6,
+      {{0, 1}, {0, 2}, {0, 3}, {1, 2}, {1, 3}, {2, 3},
+       {0, 4}, {0, 5}, {1, 4}, {1, 5}, {4, 5}},
+      groups);
+  std::vector<GeoPoint> pts{{0.9, 0}, {0.9, 0.1}, {0, 0},
+                            {0, 0.1}, {1.8, 0},  {1.8, 0.1}};
+  fixture.attributes = AttributeTable::ForGeo(std::move(pts));
+  return PrepareSingle(fixture, 2);
+}
+
+TEST(SearchOrder, AllOrdersReturnEligibleVertices) {
+  auto comp = MakeSignalComponent();
+  SearchContext ctx(comp, 2, true);
+  for (VertexOrder order :
+       {VertexOrder::kRandom, VertexOrder::kDegree, VertexOrder::kDelta1,
+        VertexOrder::kDelta2, VertexOrder::kDelta1ThenDelta2,
+        VertexOrder::kLambdaCombo}) {
+    SearchOrderPolicy policy(order, BranchOrder::kAdaptive, 5.0, 3);
+    BranchChoice choice = policy.Choose(ctx, /*restrict_to_non_sf=*/true,
+                                        /*sum_branches=*/false);
+    ASSERT_NE(choice.vertex, kInvalidVertex);
+    EXPECT_EQ(ctx.state(choice.vertex), VertexState::kInC);
+    EXPECT_GT(ctx.dp_c(choice.vertex), 0u)
+        << "restricted choice must avoid SF(C)";
+  }
+}
+
+TEST(SearchOrder, UnrestrictedChoiceMayPickSfVertices) {
+  // All-similar K4: every vertex is similarity free; unrestricted mode
+  // (BasicEnum) must still pick something.
+  auto fixture = MakeGrouped(
+      4, {{0, 1}, {0, 2}, {0, 3}, {1, 2}, {1, 3}, {2, 3}}, {0, 0, 0, 0});
+  auto comp = PrepareSingle(fixture, 2);
+  SearchContext ctx(comp, 2, true);
+  SearchOrderPolicy policy(VertexOrder::kDelta1ThenDelta2,
+                           BranchOrder::kAdaptive, 5.0, 3);
+  BranchChoice choice = policy.Choose(ctx, /*restrict_to_non_sf=*/false,
+                                      /*sum_branches=*/true);
+  EXPECT_NE(choice.vertex, kInvalidVertex);
+}
+
+TEST(SearchOrder, FixedBranchOrdersRespected) {
+  auto comp = MakeSignalComponent();
+  SearchContext ctx(comp, 2, true);
+  SearchOrderPolicy expand(VertexOrder::kDegree, BranchOrder::kExpandFirst,
+                           5.0, 3);
+  EXPECT_TRUE(expand.Choose(ctx, true, false).expand_first);
+  SearchOrderPolicy shrink(VertexOrder::kDegree, BranchOrder::kShrinkFirst,
+                           5.0, 3);
+  EXPECT_FALSE(shrink.Choose(ctx, true, false).expand_first);
+}
+
+TEST(SearchOrder, DegreePicksHighestDegree) {
+  auto comp = MakeSignalComponent();
+  SearchContext ctx(comp, 2, true);
+  SearchOrderPolicy policy(VertexOrder::kDegree, BranchOrder::kAdaptive, 5.0,
+                           3);
+  BranchChoice choice = policy.Choose(ctx, /*restrict_to_non_sf=*/true,
+                                      /*sum_branches=*/true);
+  // Eligible (conflicted) vertices are the corners (parents 2,3,4,5); all
+  // have equal degree 3, so the tie-break picks the smallest id.
+  uint32_t chosen_deg = ctx.deg_mc(choice.vertex);
+  const VertexList& c = ctx.c_list();
+  for (VertexId u = c.First(); u != kInvalidVertex; u = c.Next(u)) {
+    if (ctx.dp_c(u) > 0) EXPECT_LE(ctx.deg_mc(u), chosen_deg);
+  }
+}
+
+TEST(SearchOrder, RandomIsSeedDeterministic) {
+  auto comp = MakeSignalComponent();
+  SearchContext ctx(comp, 2, true);
+  SearchOrderPolicy a(VertexOrder::kRandom, BranchOrder::kAdaptive, 5.0, 11);
+  SearchOrderPolicy b(VertexOrder::kRandom, BranchOrder::kAdaptive, 5.0, 11);
+  for (int i = 0; i < 5; ++i) {
+    EXPECT_EQ(a.Choose(ctx, true, true).vertex,
+              b.Choose(ctx, true, true).vertex);
+  }
+}
+
+TEST(SearchOrder, InitialStageUsesDegreeForMeasurementOrders) {
+  // With M empty the measurement orders fall back to highest degree
+  // (Sec 7.1). Construct signal component; M empty initially.
+  auto comp = MakeSignalComponent();
+  SearchContext ctx(comp, 2, true);
+  SearchOrderPolicy measured(VertexOrder::kLambdaCombo, BranchOrder::kAdaptive,
+                             5.0, 3);
+  SearchOrderPolicy degree(VertexOrder::kDegree, BranchOrder::kAdaptive, 5.0,
+                           3);
+  EXPECT_EQ(measured.Choose(ctx, true, false).vertex,
+            degree.Choose(ctx, true, false).vertex);
+}
+
+}  // namespace
+}  // namespace krcore

@@ -1,0 +1,178 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "similarity/attributes.h"
+#include "similarity/metrics.h"
+#include "similarity/similarity_oracle.h"
+#include "similarity/threshold.h"
+#include "util/random.h"
+
+namespace krcore {
+namespace {
+
+TEST(SparseVector, SortsAndMergesDuplicates) {
+  SparseVector v({5, 1, 5, 3}, {1.0, 2.0, 0.5, 1.0});
+  EXPECT_EQ(v.terms(), (std::vector<uint32_t>{1, 3, 5}));
+  EXPECT_EQ(v.weights(), (std::vector<double>{2.0, 1.0, 1.5}));
+  EXPECT_DOUBLE_EQ(v.l1_norm(), 4.5);
+}
+
+TEST(SparseVector, SetConstructorCountsDuplicates) {
+  SparseVector v(std::vector<uint32_t>{2, 2, 7});
+  EXPECT_EQ(v.terms(), (std::vector<uint32_t>{2, 7}));
+  EXPECT_EQ(v.weights(), (std::vector<double>{2.0, 1.0}));
+}
+
+TEST(SparseVector, EmptyVector) {
+  SparseVector v;
+  EXPECT_TRUE(v.empty());
+  EXPECT_EQ(v.l1_norm(), 0.0);
+  EXPECT_EQ(v.l2_norm(), 0.0);
+}
+
+TEST(Jaccard, IdenticalSetsAreOne) {
+  SparseVector a(std::vector<uint32_t>{1, 2, 3});
+  EXPECT_DOUBLE_EQ(JaccardSimilarity(a, a), 1.0);
+}
+
+TEST(Jaccard, DisjointSetsAreZero) {
+  SparseVector a(std::vector<uint32_t>{1, 2});
+  SparseVector b(std::vector<uint32_t>{3, 4});
+  EXPECT_DOUBLE_EQ(JaccardSimilarity(a, b), 0.0);
+}
+
+TEST(Jaccard, PartialOverlap) {
+  SparseVector a(std::vector<uint32_t>{1, 2, 3});
+  SparseVector b(std::vector<uint32_t>{2, 3, 4, 5});
+  // |{2,3}| / |{1,2,3,4,5}| = 2/5
+  EXPECT_DOUBLE_EQ(JaccardSimilarity(a, b), 0.4);
+}
+
+TEST(Jaccard, BothEmptyIsZero) {
+  SparseVector a, b;
+  EXPECT_DOUBLE_EQ(JaccardSimilarity(a, b), 0.0);
+}
+
+TEST(WeightedJaccard, MatchesHandComputation) {
+  SparseVector a({1, 2}, {3.0, 1.0});
+  SparseVector b({2, 3}, {2.0, 4.0});
+  // min-sum: term1 min(3,0)=0, term2 min(1,2)=1, term3 min(0,4)=0 -> 1
+  // max-sum: 3 + 2 + 4 = 9
+  EXPECT_DOUBLE_EQ(WeightedJaccardSimilarity(a, b), 1.0 / 9.0);
+}
+
+TEST(WeightedJaccard, ReducesToJaccardOnSets) {
+  SparseVector a(std::vector<uint32_t>{1, 2, 3});
+  SparseVector b(std::vector<uint32_t>{2, 3, 4});
+  EXPECT_DOUBLE_EQ(WeightedJaccardSimilarity(a, b), JaccardSimilarity(a, b));
+}
+
+TEST(WeightedJaccard, ScaleSensitive) {
+  SparseVector a({1}, {1.0});
+  SparseVector b({1}, {10.0});
+  EXPECT_DOUBLE_EQ(WeightedJaccardSimilarity(a, b), 0.1);
+}
+
+TEST(Cosine, OrthogonalAndParallel) {
+  SparseVector a({1}, {2.0});
+  SparseVector b({2}, {3.0});
+  EXPECT_DOUBLE_EQ(CosineSimilarity(a, b), 0.0);
+  SparseVector c({1}, {5.0});
+  EXPECT_NEAR(CosineSimilarity(a, c), 1.0, 1e-12);
+}
+
+TEST(Cosine, KnownAngle) {
+  SparseVector a({1, 2}, {1.0, 1.0});
+  SparseVector b({1}, {1.0});
+  EXPECT_NEAR(CosineSimilarity(a, b), 1.0 / std::sqrt(2.0), 1e-12);
+}
+
+TEST(Euclidean, Distance345) {
+  GeoPoint a{0.0, 0.0}, b{3.0, 4.0};
+  EXPECT_DOUBLE_EQ(EuclideanDistance(a, b), 5.0);
+}
+
+TEST(Metrics, DistanceFlagOnlyForEuclidean) {
+  EXPECT_TRUE(IsDistanceMetric(Metric::kEuclideanDistance));
+  EXPECT_FALSE(IsDistanceMetric(Metric::kJaccard));
+  EXPECT_FALSE(IsDistanceMetric(Metric::kWeightedJaccard));
+  EXPECT_FALSE(IsDistanceMetric(Metric::kCosine));
+}
+
+TEST(Oracle, SimilarityDirection) {
+  std::vector<SparseVector> vecs;
+  vecs.emplace_back(std::vector<uint32_t>{1, 2, 3});
+  vecs.emplace_back(std::vector<uint32_t>{2, 3, 4});   // jaccard 0.5 with [0]
+  vecs.emplace_back(std::vector<uint32_t>{7, 8, 9});   // jaccard 0 with [0]
+  AttributeTable t = AttributeTable::ForVectors(std::move(vecs));
+  SimilarityOracle oracle(&t, Metric::kJaccard, 0.5);
+  EXPECT_TRUE(oracle.Similar(0, 1));   // >= r
+  EXPECT_FALSE(oracle.Similar(0, 2));  // < r
+}
+
+TEST(Oracle, DistanceDirection) {
+  std::vector<GeoPoint> pts{{0, 0}, {0, 1}, {0, 10}};
+  AttributeTable t = AttributeTable::ForGeo(std::move(pts));
+  SimilarityOracle oracle(&t, Metric::kEuclideanDistance, 2.0);
+  EXPECT_TRUE(oracle.Similar(0, 1));   // dist 1 <= 2
+  EXPECT_FALSE(oracle.Similar(0, 2));  // dist 10 > 2
+}
+
+TEST(Oracle, WithThresholdRebinds) {
+  std::vector<GeoPoint> pts{{0, 0}, {0, 5}};
+  AttributeTable t = AttributeTable::ForGeo(std::move(pts));
+  SimilarityOracle tight(&t, Metric::kEuclideanDistance, 1.0);
+  EXPECT_FALSE(tight.Similar(0, 1));
+  EXPECT_TRUE(tight.WithThreshold(6.0).Similar(0, 1));
+}
+
+TEST(Threshold, TopPermilleMonotoneInPermille) {
+  // Random geo points: a looser permille admits a larger distance.
+  std::vector<GeoPoint> pts;
+  Rng rng(3);
+  for (int i = 0; i < 500; ++i) {
+    pts.push_back({rng.NextDouble() * 100.0, rng.NextDouble() * 100.0});
+  }
+  AttributeTable t = AttributeTable::ForGeo(std::move(pts));
+  SimilarityOracle oracle(&t, Metric::kEuclideanDistance, 0.0);
+  double r1 = TopPermilleThreshold(oracle, 500, 1.0, 50000);
+  double r10 = TopPermilleThreshold(oracle, 500, 10.0, 50000);
+  double r100 = TopPermilleThreshold(oracle, 500, 100.0, 50000);
+  EXPECT_LT(r1, r10);
+  EXPECT_LT(r10, r100);
+}
+
+TEST(Threshold, TopPermilleSelectsApproxFraction) {
+  // For a similarity metric, about permille/1000 of sampled pairs should
+  // be >= the calibrated threshold.
+  std::vector<SparseVector> vecs;
+  Rng rng(5);
+  for (int i = 0; i < 400; ++i) {
+    std::vector<uint32_t> terms;
+    for (int j = 0; j < 5; ++j) {
+      terms.push_back(static_cast<uint32_t>(rng.NextBounded(40)));
+    }
+    vecs.emplace_back(std::move(terms));
+  }
+  AttributeTable t = AttributeTable::ForVectors(std::move(vecs));
+  SimilarityOracle oracle(&t, Metric::kJaccard, 0.0);
+  double r = TopPermilleThreshold(oracle, 400, 50.0, 100000);  // top 5%
+  // Count qualifying pairs on a fresh sample.
+  Rng rng2(99);
+  int qualify = 0;
+  const int samples = 20000;
+  for (int i = 0; i < samples; ++i) {
+    VertexId u = static_cast<VertexId>(rng2.NextBounded(400));
+    VertexId v = static_cast<VertexId>(rng2.NextBounded(400));
+    if (u == v) continue;
+    if (oracle.Value(u, v) >= r) ++qualify;
+  }
+  double frac = static_cast<double>(qualify) / samples;
+  // Jaccard on small sets is heavily tied, so allow generous slack around 5%.
+  EXPECT_GT(frac, 0.005);
+  EXPECT_LT(frac, 0.25);
+}
+
+}  // namespace
+}  // namespace krcore

@@ -1,0 +1,83 @@
+#ifndef KRCORE_TESTS_TEST_HELPERS_H_
+#define KRCORE_TESTS_TEST_HELPERS_H_
+
+#include <utility>
+#include <vector>
+
+#include "datasets/dataset.h"
+#include "datasets/generators.h"
+#include "graph/graph_builder.h"
+#include "similarity/attributes.h"
+#include "similarity/similarity_oracle.h"
+#include "util/random.h"
+
+namespace krcore {
+namespace test {
+
+/// An attributed test graph where similarity is *explicitly specified*: each
+/// vertex gets a singleton keyword set; similar groups share the keyword.
+/// More flexible form: provide explicit dissimilar pairs on top of a base
+/// where everybody is similar (keyword 0), realized by giving clashing
+/// vertices disjoint auxiliary keywords via geo points instead.
+///
+/// Implementation: vertices are 2-D points; vertices u, v are similar iff
+/// |p_u - p_v| <= 1. Points are laid out so that the requested dissimilar
+/// pairs (and only those) exceed distance 1. That is only possible for
+/// "interval-graph-like" dissimilarity, so we use the simplest reliable
+/// encoding instead: similarity *groups* on a line, where all members of a
+/// group sit at the same point and groups are > 1 apart. Vertices in the
+/// same group are mutually similar; across groups dissimilar.
+struct GroupedSimilarity {
+  Graph graph;
+  AttributeTable attributes;
+
+  SimilarityOracle MakeOracle() const {
+    return SimilarityOracle(&attributes, Metric::kEuclideanDistance, 1.0);
+  }
+};
+
+/// Builds the graph plus group-based similarity. `group_of[u]` assigns each
+/// vertex to a similarity group.
+inline GroupedSimilarity MakeGrouped(
+    VertexId n, const std::vector<std::pair<VertexId, VertexId>>& edges,
+    const std::vector<uint32_t>& group_of) {
+  GroupedSimilarity out;
+  out.graph = MakeGraph(n, edges);
+  std::vector<GeoPoint> points(n);
+  for (VertexId u = 0; u < n; ++u) {
+    points[u] = {static_cast<double>(group_of[u]) * 10.0, 0.0};
+  }
+  out.attributes = AttributeTable::ForGeo(std::move(points));
+  return out;
+}
+
+/// Random attributed dataset with tunable similarity density: vertices get
+/// random 2-D points in [0,1]^2 and the oracle threshold is `radius`
+/// (larger radius = more similar pairs).
+inline Dataset MakeRandomGeo(uint32_t n, uint32_t m, uint64_t seed) {
+  RandomAttributedConfig c;
+  c.num_vertices = n;
+  c.num_edges = m;
+  c.geo = true;
+  c.seed = seed;
+  return MakeRandomAttributed(c);
+}
+
+/// Random attributed dataset with Jaccard keyword similarity.
+inline Dataset MakeRandomKeyword(uint32_t n, uint32_t m, uint64_t seed,
+                                 uint32_t universe = 12,
+                                 uint32_t per_vertex = 4) {
+  RandomAttributedConfig c;
+  c.num_vertices = n;
+  c.num_edges = m;
+  c.geo = false;
+  c.keyword_universe = universe;
+  c.keywords_per_vertex = per_vertex;
+  c.seed = seed;
+  return MakeRandomAttributed(c);
+}
+
+}  // namespace test
+}  // namespace krcore
+
+#endif  // KRCORE_TESTS_TEST_HELPERS_H_
