@@ -28,6 +28,7 @@ void RunPoint(const Dataset& dataset, double r, uint32_t k,
   std::printf("%-12s", x_label.c_str());
   for (const char* variant : kVariants) {
     MaxOptions opts = MakeMaxVariant(variant, k, env.timeout_seconds);
+    opts.parallel.num_threads = env.threads;
     auto result = FindMaximumCore(dataset.graph, oracle, opts);
     Measurement m = MeasureMax(variant, x_label, result);
     std::printf(" %s=%-9s", variant, m.TimeString().c_str());

@@ -35,6 +35,7 @@ Measurement RunMax(const Dataset& dataset, double r, uint32_t k,
                    BranchOrder branch, double lambda) {
   SimilarityOracle oracle = dataset.MakeOracle(r);
   MaxOptions opts = MakeMaxVariant("AdvMax", k, env.timeout_seconds);
+  opts.parallel.num_threads = env.threads;
   opts.order = order;
   opts.branch_order = branch;
   opts.lambda = lambda;
@@ -48,6 +49,7 @@ Measurement RunEnum(const Dataset& dataset, double r, uint32_t k,
                     VertexOrder check_order) {
   SimilarityOracle oracle = dataset.MakeOracle(r);
   EnumOptions opts = MakeEnumVariant("AdvEnum", k, env.timeout_seconds);
+  opts.parallel.num_threads = env.threads;
   opts.order = order;
   opts.maximal_check_order = check_order;
   auto result = EnumerateMaximalCores(dataset.graph, oracle, opts);

@@ -53,6 +53,7 @@ int main(int argc, char** argv) {
 
     for (const char* variant : {"AdvEnum-O", "AdvEnum-P", "AdvEnum"}) {
       EnumOptions opts = MakeEnumVariant(variant, k, env.timeout_seconds);
+      opts.parallel.num_threads = env.threads;
       auto result = EnumerateMaximalCores(dataset.graph, oracle, opts);
       Measurement m = MeasureEnum(variant, point.name, result);
       std::printf("  %-10s %-9s (#cores %llu)\n", variant,
@@ -62,6 +63,7 @@ int main(int argc, char** argv) {
     }
     for (const char* variant : {"AdvMax-O", "AdvMax-UB", "AdvMax"}) {
       MaxOptions opts = MakeMaxVariant(variant, k, env.timeout_seconds);
+      opts.parallel.num_threads = env.threads;
       auto result = FindMaximumCore(dataset.graph, oracle, opts);
       Measurement m = MeasureMax(variant, point.name, result);
       std::printf("  %-10s %-9s (|max|=%llu)\n", variant,

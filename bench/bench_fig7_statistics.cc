@@ -21,6 +21,7 @@ void RunPoint(const Dataset& dataset, double r, uint32_t k,
               FigureReport* report) {
   SimilarityOracle oracle = dataset.MakeOracle(r);
   EnumOptions opts = MakeEnumVariant("AdvEnum", k, env.timeout_seconds);
+  opts.parallel.num_threads = env.threads;
   auto result = EnumerateMaximalCores(dataset.graph, oracle, opts);
   Measurement m = MeasureEnum("AdvEnum", x_label, result);
   std::printf("%-14s #cores=%-6llu max=%-5llu avg=%-7.1f (%s)\n",

@@ -32,6 +32,7 @@ void RunPoint(const Dataset& dataset, double r, uint32_t k,
   report->Add(MeasureEnum("Clique+", x_label, clique_result));
 
   EnumOptions bopts = MakeEnumVariant("BasicEnum", k, env.timeout_seconds);
+  bopts.parallel.num_threads = env.threads;
   auto basic_result = EnumerateMaximalCores(dataset.graph, oracle, bopts);
   report->Add(MeasureEnum("BasicEnum", x_label, basic_result));
 

@@ -58,15 +58,18 @@ int main(int argc, char** argv) {
 
   PipelineOptions popts;
   popts.k = k;
+  popts.preprocess.num_threads = env.threads;
   std::vector<ComponentContext> comps;
-  Status s = PrepareComponents(d.graph, oracle, popts, &comps);
+  PreprocessReport report;
+  Status s = PrepareComponents(d.graph, oracle, popts, &comps, &report);
   std::printf("pipeline status: %s\n", s.ToString().c_str());
   if (!s.ok()) return 1;
+  std::printf("preprocess: %s\n", report.ToString().c_str());
   uint64_t total_vertices = 0, total_dis = 0;
   VertexId biggest = 0;
   for (const auto& c : comps) {
     total_vertices += c.size();
-    total_dis += c.num_dissimilar_pairs;
+    total_dis += c.num_dissimilar_pairs();
     biggest = std::max(biggest, c.size());
   }
   std::printf("k=%u: %zu components, %llu vertices total, biggest=%u, "

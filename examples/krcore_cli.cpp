@@ -53,7 +53,7 @@ int main(int argc, char** argv) {
   if (options.Has("help")) {
     std::printf(
         "krcore_cli --graph=E --attrs=A --metric=M --k=K --r=R "
-        "[--mode=enum|max] [--timeout=S] [--out=F]\n"
+        "[--mode=enum|max] [--timeout=S] [--threads=N] [--out=F]\n"
         "krcore_cli --dataset=brightkite|gowalla|dblp|pokec [--scale=S] "
         "--k=K (--r=R | --permille=P) [--mode=...]\n");
     return 0;
@@ -106,6 +106,8 @@ int main(int argc, char** argv) {
   SimilarityOracle oracle = dataset.MakeOracle(r);
   double timeout = options.GetDouble("timeout", 60.0);
   std::string mode = options.GetString("mode", "enum");
+  // 1 = sequential, 0 = all hardware cores (per-component parallelism).
+  uint32_t threads = static_cast<uint32_t>(options.GetInt("threads", 1));
 
   std::ofstream out_file;
   std::FILE* sink = stdout;
@@ -132,6 +134,7 @@ int main(int argc, char** argv) {
   if (mode == "enum") {
     EnumOptions opts = AdvEnumOptions(k);
     opts.deadline = Deadline::AfterSeconds(timeout);
+    opts.parallel.num_threads = threads;
     auto result = EnumerateMaximalCores(dataset.graph, oracle, opts);
     std::fprintf(stderr, "status: %s; %zu maximal (%u,r)-cores; %s\n",
                  result.status.ToString().c_str(), result.cores.size(), k,
@@ -142,6 +145,7 @@ int main(int argc, char** argv) {
   if (mode == "max") {
     MaxOptions opts = AdvMaxOptions(k);
     opts.deadline = Deadline::AfterSeconds(timeout);
+    opts.parallel.num_threads = threads;
     auto result = FindMaximumCore(dataset.graph, oracle, opts);
     std::fprintf(stderr, "status: %s; |maximum| = %zu; %s\n",
                  result.status.ToString().c_str(), result.best.size(),

@@ -22,6 +22,9 @@ struct ExperimentEnv {
   double scale = 1.0;
   /// Quick mode shrinks datasets and sweeps for smoke runs / CI.
   bool quick = false;
+  /// Threads for the per-component parallel drivers (--threads; 0 = all
+  /// hardware cores, 1 = the paper's sequential setting).
+  uint32_t threads = 1;
   uint64_t seed = 1;
   /// Optional CSV output path ("" = none).
   std::string csv_path;

@@ -49,12 +49,15 @@ MaximalCoresResult EnumerateByCliqueMethod(const Graph& g,
 
   auto components = ComponentsOfSubset(structure, core_vertices);
 
-  // Pairwise-similarity budget guard (same role as the pipeline's).
+  // Pairwise-similarity budget guard (same role as the pipeline's; 0 means
+  // unlimited).
   uint64_t pair_budget = 0;
   for (const auto& comp : components) {
-    pair_budget += static_cast<uint64_t>(comp.size()) * comp.size() / 2;
+    const uint64_t sz = comp.size();
+    pair_budget += sz * (sz - 1) / 2;
   }
-  if (pair_budget > options.max_pair_budget) {
+  if (options.preprocess.max_pair_budget > 0 &&
+      pair_budget > options.preprocess.max_pair_budget) {
     result.status = Status::ResourceExhausted(
         "clique method similarity-graph budget exceeded");
     return result;

@@ -2,6 +2,7 @@
 #define KRCORE_CORE_CLIQUE_METHOD_H_
 
 #include "core/krcore_types.h"
+#include "core/preprocess_options.h"
 #include "graph/graph.h"
 #include "similarity/similarity_oracle.h"
 #include "util/timer.h"
@@ -11,7 +12,11 @@ namespace krcore {
 struct CliqueMethodOptions {
   uint32_t k = 3;
   Deadline deadline;
-  uint64_t max_pair_budget = 64ull << 20;
+  /// Shared preprocessing knobs; only max_pair_budget applies here. Unlike
+  /// the pipeline, the clique method materializes each component's full
+  /// similarity *graph* in memory (nothing is streamed), so the legacy 64M
+  /// default guard is kept; set 0 explicitly for unlimited.
+  PreprocessOptions preprocess{.max_pair_budget = 64ull << 20};
 };
 
 /// The improved clique-based baseline of Sec 3 (Clique+): after the shared

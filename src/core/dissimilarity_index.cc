@@ -1,0 +1,107 @@
+#include "core/dissimilarity_index.h"
+
+#include <algorithm>
+
+#include "util/logging.h"
+
+namespace krcore {
+
+bool DissimilarityIndex::Dissimilar(VertexId u, VertexId v) const {
+  KRCORE_DCHECK(u < n_ && v < n_);
+  if (u == v) return false;
+  uint32_t su = bitset_slot_.empty() ? kNoBitset : bitset_slot_[u];
+  if (su != kNoBitset) return TestBit(su, v);
+  uint32_t sv = bitset_slot_.empty() ? kNoBitset : bitset_slot_[v];
+  if (sv != kNoBitset) return TestBit(sv, u);
+  // Both rows cold: binary search the shorter one.
+  if (degree(v) < degree(u)) std::swap(u, v);
+  auto r = (*this)[u];
+  return std::binary_search(r.begin(), r.end(), v);
+}
+
+uint64_t DissimilarityIndex::MemoryBytes() const {
+  return offsets_.size() * sizeof(uint64_t) + ids_.size() * sizeof(VertexId) +
+         bitset_slot_.size() * sizeof(uint32_t) +
+         bits_.size() * sizeof(uint64_t);
+}
+
+DissimilarityIndex::Builder::Builder(VertexId num_vertices)
+    : n_(num_vertices), counts_(num_vertices, 0) {}
+
+void DissimilarityIndex::Builder::AddPair(VertexId a, VertexId b) {
+  KRCORE_DCHECK(a < n_ && b < n_ && a != b);
+  if (a > b) std::swap(a, b);
+  ++counts_[a];
+  ++counts_[b];
+  pairs_.push_back((static_cast<uint64_t>(a) << 32) | b);
+}
+
+uint64_t DissimilarityIndex::Builder::MemoryBytes() const {
+  return counts_.size() * sizeof(uint32_t) + pairs_.size() * sizeof(uint64_t);
+}
+
+DissimilarityIndex DissimilarityIndex::Builder::Build(
+    uint32_t bitset_min_degree) {
+  DissimilarityIndex index;
+  index.n_ = n_;
+  index.num_pairs_ = pairs_.size();
+
+  index.offsets_.assign(static_cast<size_t>(n_) + 1, 0);
+  for (VertexId u = 0; u < n_; ++u) {
+    index.offsets_[u + 1] = index.offsets_[u] + counts_[u];
+  }
+  index.ids_.resize(index.offsets_.back());
+
+  // Fill both directions, then sort each row (pairs may arrive in any
+  // order, e.g. tile-major from the blocked pipeline builder).
+  std::vector<uint64_t> cursor(index.offsets_.begin(),
+                               index.offsets_.end() - 1);
+  for (uint64_t packed : pairs_) {
+    VertexId a = static_cast<VertexId>(packed >> 32);
+    VertexId b = static_cast<VertexId>(packed & 0xFFFFFFFFu);
+    index.ids_[cursor[a]++] = b;
+    index.ids_[cursor[b]++] = a;
+  }
+  pairs_.clear();
+  pairs_.shrink_to_fit();
+  for (VertexId u = 0; u < n_; ++u) {
+    auto begin = index.ids_.begin() + index.offsets_[u];
+    auto end = index.ids_.begin() + index.offsets_[u + 1];
+    std::sort(begin, end);
+    KRCORE_DCHECK(std::adjacent_find(begin, end) == end)
+        << "duplicate dissimilar pair involving vertex " << u;
+  }
+
+  // Hybrid bitsets for hot rows: absolutely large and dense enough that the
+  // bitmap stays within ~2x of the row's CSR footprint.
+  // A bitset row costs n/8 bytes and the CSR row 4*degree bytes, so
+  // degree * 64 >= n keeps the bitset within ~2x of the row's CSR bytes.
+  auto is_hot = [&](VertexId u) {
+    return counts_[u] >= bitset_min_degree &&
+           static_cast<uint64_t>(counts_[u]) * 64 >= n_;
+  };
+  VertexId hot = 0;
+  for (VertexId u = 0; u < n_; ++u) {
+    if (is_hot(u)) ++hot;
+  }
+  if (hot > 0) {
+    index.words_per_row_ = (n_ + 63) / 64;
+    index.bitset_rows_ = hot;
+    index.bitset_slot_.assign(n_, kNoBitset);
+    index.bits_.assign(
+        static_cast<uint64_t>(hot) * index.words_per_row_, 0);
+    uint32_t slot = 0;
+    for (VertexId u = 0; u < n_; ++u) {
+      if (!is_hot(u)) continue;
+      index.bitset_slot_[u] = slot;
+      uint64_t base = static_cast<uint64_t>(slot) * index.words_per_row_;
+      for (VertexId v : index[u]) {
+        index.bits_[base + (v >> 6)] |= 1ull << (v & 63);
+      }
+      ++slot;
+    }
+  }
+  return index;
+}
+
+}  // namespace krcore

@@ -1,0 +1,117 @@
+#ifndef KRCORE_CORE_DISSIMILARITY_INDEX_H_
+#define KRCORE_CORE_DISSIMILARITY_INDEX_H_
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "graph/graph.h"
+
+namespace krcore {
+
+/// Flat storage for per-component dissimilarity: for every local vertex u,
+/// the sorted list of local vertices v with sim(u, v) violating r. This is
+/// the complement of the component's similarity graph and the engine's
+/// single hottest data structure — every Theorem 3 pruning loop, dp counter
+/// update, SF(C) maintenance step and conflict branch walks these rows.
+///
+/// Layout:
+///  - CSR core: one offsets array (n+1) plus one contiguous id array, so
+///    row iteration is a pointer-range scan with no per-row heap hops and
+///    membership probes are a binary search over a cache-contiguous range.
+///  - Hybrid bitsets: rows that are both absolutely large (>= the builder's
+///    `bitset_min_degree`) and dense relative to the component (degree * 64
+///    >= n; a bitset row is n/8 bytes vs 4*degree CSR bytes, so this caps
+///    the bitset at ~2x the row's CSR bytes) additionally get a packed
+///    bitmap, making Dissimilar(u, v) O(1) on exactly the hot vertices
+///    where a binary search over a huge row would hurt.
+///
+/// Instances are immutable once built; all reads are const and thread-safe.
+class DissimilarityIndex {
+ public:
+  /// Default absolute degree floor below which a row never gets a bitset.
+  static constexpr uint32_t kDefaultBitsetMinDegree = 64;
+
+  DissimilarityIndex() = default;
+
+  VertexId num_vertices() const { return n_; }
+  /// Number of unordered dissimilar pairs (DP of Sec 7.1).
+  uint64_t num_pairs() const { return num_pairs_; }
+  bool empty() const { return num_pairs_ == 0; }
+
+  uint32_t degree(VertexId u) const {
+    KRCORE_DCHECK(u < n_);
+    return static_cast<uint32_t>(offsets_[u + 1] - offsets_[u]);
+  }
+
+  /// Sorted dissimilar row of u.
+  std::span<const VertexId> operator[](VertexId u) const {
+    KRCORE_DCHECK(u < n_);
+    return {ids_.data() + offsets_[u], ids_.data() + offsets_[u + 1]};
+  }
+  std::span<const VertexId> row(VertexId u) const { return (*this)[u]; }
+
+  /// True iff {u, v} is a dissimilar pair. O(1) when either endpoint owns a
+  /// bitset, O(log min(deg(u), deg(v))) otherwise.
+  bool Dissimilar(VertexId u, VertexId v) const;
+
+  /// Number of rows backed by a bitset.
+  VertexId bitset_rows() const { return bitset_rows_; }
+
+  /// Bytes held by the CSR arrays plus the bitset arena (excludes the
+  /// object header; used for the PreprocessReport memory accounting).
+  uint64_t MemoryBytes() const;
+
+  /// Accumulates pairs (both directions are derived from one AddPair call)
+  /// and freezes them into an index. Designed for streaming producers: the
+  /// buffer holds 8 bytes per pair plus 4 bytes per vertex while
+  /// accumulating; during Build() the buffer and the CSR arrays (another
+  /// ~8 bytes per pair) briefly coexist.
+  class Builder {
+   public:
+    explicit Builder(VertexId num_vertices);
+
+    /// Records the unordered dissimilar pair {a, b}; a != b, both < n.
+    /// Each pair must be added at most once.
+    void AddPair(VertexId a, VertexId b);
+
+    uint64_t num_pairs() const { return pairs_.size(); }
+    /// Transient bytes currently held by the builder.
+    uint64_t MemoryBytes() const;
+
+    /// Freezes into an immutable index. The builder is consumed (its pair
+    /// buffer is released).
+    DissimilarityIndex Build(
+        uint32_t bitset_min_degree = kDefaultBitsetMinDegree);
+
+   private:
+    VertexId n_;
+    std::vector<uint32_t> counts_;  // per-row degree accumulated by AddPair
+    std::vector<uint64_t> pairs_;   // packed (min << 32 | max)
+  };
+
+ private:
+  static constexpr uint32_t kNoBitset = static_cast<uint32_t>(-1);
+
+  bool TestBit(uint32_t slot, VertexId v) const {
+    return (bits_[static_cast<uint64_t>(slot) * words_per_row_ + (v >> 6)] >>
+            (v & 63)) &
+           1;
+  }
+
+  VertexId n_ = 0;
+  uint64_t num_pairs_ = 0;
+  std::vector<uint64_t> offsets_;  // n+1
+  std::vector<VertexId> ids_;      // contiguous rows, each sorted
+
+  // Hybrid part: slot index per vertex (kNoBitset for cold rows) into a
+  // single arena of bitset_rows_ * words_per_row_ words.
+  std::vector<uint32_t> bitset_slot_;
+  std::vector<uint64_t> bits_;
+  VertexId words_per_row_ = 0;
+  VertexId bitset_rows_ = 0;
+};
+
+}  // namespace krcore
+
+#endif  // KRCORE_CORE_DISSIMILARITY_INDEX_H_

@@ -1,8 +1,10 @@
 #include "core/enumerate.h"
 
 #include <algorithm>
+#include <atomic>
 
 #include "core/early_termination.h"
+#include "core/parallel.h"
 #include "core/maximal_check.h"
 #include "core/result_set.h"
 #include "core/search_context.h"
@@ -145,19 +147,54 @@ MaximalCoresResult EnumerateMaximalCores(const Graph& g,
   MaximalCoresResult result;
   Timer timer;
 
+  const uint32_t threads = options.parallel.Resolve();
   PipelineOptions pipe;
   pipe.k = options.k;
-  pipe.max_pair_budget = options.max_pair_budget;
+  pipe.preprocess = options.preprocess;
+  pipe.preprocess.num_threads = threads;
+  pipe.deadline = options.deadline;
   std::vector<ComponentContext> components;
   result.status = PrepareComponents(g, oracle, pipe, &components);
   if (!result.status.ok()) return result;
 
   ResultSet results;
-  for (const auto& comp : components) {
-    ++result.stats.components;
-    ComponentEnumerator enumerator(comp, options, &result.stats, &results);
-    result.status = enumerator.Run();
-    if (!result.status.ok()) break;
+  if (threads <= 1 || components.size() <= 1) {
+    for (const auto& comp : components) {
+      ++result.stats.components;
+      ComponentEnumerator enumerator(comp, options, &result.stats, &results);
+      result.status = enumerator.Run();
+      if (!result.status.ok()) break;
+    }
+  } else {
+    // Work-stealing per-component driver: components are independent search
+    // units (Sec 4.1), so each worker claims the next unsearched component.
+    // Every component gets its own stats/results slot; the merge below is
+    // deterministic because components partition the vertex set (no core can
+    // be produced by two different components) and the final TakeSorted /
+    // FilterNonMaximal make the output order canonical.
+    std::vector<MiningStats> stats(components.size());
+    std::vector<ResultSet> sets(components.size());
+    std::vector<Status> statuses(components.size());
+    std::atomic<bool> failed{false};
+    ParallelFor(threads, components.size(), [&](size_t i) {
+      if (failed.load(std::memory_order_relaxed)) return;  // drain quickly
+      ComponentEnumerator enumerator(components[i], options, &stats[i],
+                                     &sets[i]);
+      statuses[i] = enumerator.Run();
+      if (!statuses[i].ok()) failed.store(true, std::memory_order_relaxed);
+    });
+    // Merge in component order, stopping at the first failure like the
+    // sequential loop does (its partial results are kept, later components'
+    // are dropped), so a timed-out run never *grows* with the thread count.
+    for (size_t i = 0; i < components.size(); ++i) {
+      ++result.stats.components;
+      result.stats.MergeFrom(stats[i]);
+      for (auto& core : sets[i].TakeSorted()) results.Insert(std::move(core));
+      if (!statuses[i].ok()) {
+        result.status = statuses[i];
+        break;
+      }
+    }
   }
 
   // Variants without the smart maximal check filter non-maximal cores the

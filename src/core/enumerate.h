@@ -4,7 +4,9 @@
 #include <cstdint>
 
 #include "core/krcore_types.h"
+#include "core/parallel.h"
 #include "core/pipeline.h"
+#include "core/preprocess_options.h"
 #include "graph/graph.h"
 #include "similarity/similarity_oracle.h"
 #include "util/timer.h"
@@ -45,8 +47,14 @@ struct EnumOptions {
   /// Status::DeadlineExceeded (rendered as INF by the benches).
   Deadline deadline;
 
-  /// Preprocessing guard (see PipelineOptions).
-  uint64_t max_pair_budget = 64ull << 20;
+  /// Shared preprocessing knobs (blocked pair builder, optional budget).
+  PreprocessOptions preprocess;
+
+  /// Per-component parallel search (Sec 4.1: components are independent).
+  /// Completed runs return an identical result set for every thread count;
+  /// deadline-expired runs return a partial set that never grows with the
+  /// thread count but may differ from the sequential partial set.
+  ParallelOptions parallel;
 };
 
 /// Enumerates all maximal (k,r)-cores of `g` under `oracle` (Algorithms 1+3).

@@ -1,9 +1,11 @@
 #include "core/maximum.h"
 
 #include <algorithm>
+#include <atomic>
+#include <mutex>
 
 #include "core/early_termination.h"
-
+#include "core/parallel.h"
 #include "core/pipeline.h"
 #include "core/search_context.h"
 #include "core/search_order.h"
@@ -14,11 +16,44 @@
 namespace krcore {
 namespace {
 
+/// The incumbent best core, shared by every component searcher. The size is
+/// readable lock-free (it is the bound-pruning hot path, polled at every
+/// search node); the vertex set itself is guarded by a mutex and only
+/// touched on the rare strictly-better / tie-breaking emissions.
+class SharedBest {
+ public:
+  uint64_t Size() const { return size_.load(std::memory_order_relaxed); }
+
+  /// Installs `candidate` (sorted parent ids) when strictly larger than the
+  /// incumbent, or equal-sized and lexicographically smaller — the latter
+  /// makes the reported set stable across work-stealing schedules whenever
+  /// the competing maxima are all discovered.
+  void Offer(VertexSet candidate) {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (candidate.size() > best_.size() ||
+        (candidate.size() == best_.size() && !best_.empty() &&
+         candidate < best_)) {
+      best_ = std::move(candidate);
+      size_.store(best_.size(), std::memory_order_relaxed);
+    }
+  }
+
+  VertexSet Take() {
+    std::lock_guard<std::mutex> lock(mu_);
+    return std::move(best_);
+  }
+
+ private:
+  std::mutex mu_;
+  VertexSet best_;
+  std::atomic<uint64_t> size_{0};
+};
+
 /// Per-component branch-and-bound for the maximum (k,r)-core (Algorithm 5).
 class ComponentMaximizer {
  public:
   ComponentMaximizer(const ComponentContext& comp, const MaxOptions& options,
-                     MiningStats* stats, VertexSet* best)
+                     MiningStats* stats, SharedBest* best)
       : comp_(comp),
         options_(options),
         stats_(stats),
@@ -52,9 +87,10 @@ class ComponentMaximizer {
     }
 
     // Upper-bound cutoff (Algorithm 5 line 2): prune unless the bound says
-    // this subtree could beat the incumbent.
+    // this subtree could beat the incumbent — which other threads may have
+    // grown since the last node.
     uint64_t bound = bound_computer_.Compute(ctx_, options_.bound);
-    if (bound <= best_->size()) {
+    if (bound <= best_->Size()) {
       ++stats_->bound_prunes;
       return Status::OK();
     }
@@ -99,19 +135,19 @@ class ComponentMaximizer {
     auto components = ComponentsOfSubset(comp_.graph, mc);
     for (const auto& local_core : components) {
       ++stats_->emitted_candidates;
-      if (local_core.size() > best_->size()) {
-        best_->clear();
-        best_->reserve(local_core.size());
-        for (VertexId v : local_core) best_->push_back(comp_.to_parent[v]);
-        std::sort(best_->begin(), best_->end());
-      }
+      if (local_core.size() < best_->Size()) continue;
+      VertexSet parent_ids;
+      parent_ids.reserve(local_core.size());
+      for (VertexId v : local_core) parent_ids.push_back(comp_.to_parent[v]);
+      std::sort(parent_ids.begin(), parent_ids.end());
+      best_->Offer(std::move(parent_ids));
     }
   }
 
   const ComponentContext& comp_;
   const MaxOptions& options_;
   MiningStats* stats_;
-  VertexSet* best_;
+  SharedBest* best_;
   SearchContext ctx_;
   SearchOrderPolicy policy_;
   EarlyTerminationChecker et_checker_;
@@ -126,23 +162,55 @@ MaximumCoreResult FindMaximumCore(const Graph& g,
   MaximumCoreResult result;
   Timer timer;
 
+  const uint32_t threads = options.parallel.Resolve();
   PipelineOptions pipe;
   pipe.k = options.k;
-  pipe.max_pair_budget = options.max_pair_budget;
+  pipe.preprocess = options.preprocess;
+  pipe.preprocess.num_threads = threads;
+  pipe.deadline = options.deadline;
   pipe.order_by_max_degree = true;  // seed the incumbent from the densest part
   std::vector<ComponentContext> components;
   result.status = PrepareComponents(g, oracle, pipe, &components);
   if (!result.status.ok()) return result;
 
-  for (const auto& comp : components) {
-    ++result.stats.components;
-    // A whole component can be skipped when even its total size cannot beat
-    // the incumbent.
-    if (comp.size() <= result.best.size()) continue;
-    ComponentMaximizer maximizer(comp, options, &result.stats, &result.best);
-    result.status = maximizer.Run();
-    if (!result.status.ok()) break;
+  SharedBest best;
+  if (threads <= 1 || components.size() <= 1) {
+    for (const auto& comp : components) {
+      ++result.stats.components;
+      // A whole component can be skipped when even its total size cannot
+      // beat the incumbent.
+      if (comp.size() <= best.Size()) continue;
+      ComponentMaximizer maximizer(comp, options, &result.stats, &best);
+      result.status = maximizer.Run();
+      if (!result.status.ok()) break;
+    }
+  } else {
+    // Work-stealing per-component driver. The atomic incumbent size means a
+    // big core found early in one component prunes every other component's
+    // search immediately, just like the sequential ordering intends.
+    std::vector<MiningStats> stats(components.size());
+    std::vector<Status> statuses(components.size());
+    std::atomic<bool> failed{false};
+    ParallelFor(threads, components.size(), [&](size_t i) {
+      if (failed.load(std::memory_order_relaxed)) return;  // drain quickly
+      if (components[i].size() <= best.Size()) return;
+      ComponentMaximizer maximizer(components[i], options, &stats[i], &best);
+      statuses[i] = maximizer.Run();
+      if (!statuses[i].ok()) failed.store(true, std::memory_order_relaxed);
+    });
+    // Merge stats in component order and stop at the first failure, so a
+    // timed-out run reports the same shape of counters as the sequential
+    // loop (which breaks there). The shared best itself is unaffected.
+    for (size_t i = 0; i < components.size(); ++i) {
+      ++result.stats.components;
+      result.stats.MergeFrom(stats[i]);
+      if (!statuses[i].ok()) {
+        result.status = statuses[i];
+        break;
+      }
+    }
   }
+  result.best = best.Take();
   result.stats.maximal_found = result.best.empty() ? 0 : 1;
   result.stats.seconds = timer.ElapsedSeconds();
   return result;

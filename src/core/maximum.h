@@ -4,6 +4,8 @@
 #include <cstdint>
 
 #include "core/krcore_types.h"
+#include "core/parallel.h"
+#include "core/preprocess_options.h"
 #include "graph/graph.h"
 #include "similarity/similarity_oracle.h"
 #include "util/timer.h"
@@ -30,11 +32,21 @@ struct MaxOptions {
   uint64_t seed = 7;
 
   Deadline deadline;
-  uint64_t max_pair_budget = 64ull << 20;
+
+  /// Shared preprocessing knobs (blocked pair builder, optional budget).
+  PreprocessOptions preprocess;
+
+  /// Per-component parallel search. Workers share the incumbent best size
+  /// through an atomic, so a large core found in one component immediately
+  /// tightens the bound pruning in every other. The maximum *size* is
+  /// deterministic for any thread count; among equal-sized maxima the
+  /// lexicographically smallest reachable one is preferred.
+  ParallelOptions parallel;
 };
 
-/// Finds a maximum (k,r)-core of `g` (largest vertex count; ties broken by
-/// discovery order). `best` is empty when no (k,r)-core exists.
+/// Finds a maximum (k,r)-core of `g` (largest vertex count; among ties the
+/// engine prefers the lexicographically smallest discovered set). `best` is
+/// empty when no (k,r)-core exists.
 MaximumCoreResult FindMaximumCore(const Graph& g,
                                   const SimilarityOracle& oracle,
                                   const MaxOptions& options);

@@ -1,0 +1,40 @@
+#include "core/parallel.h"
+
+#include <algorithm>
+#include <atomic>
+#include <thread>
+#include <vector>
+
+namespace krcore {
+
+uint32_t ParallelOptions::Resolve() const {
+  if (num_threads != 0) return num_threads;
+  uint32_t hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : hw;
+}
+
+void ParallelFor(uint32_t num_threads, size_t count,
+                 const std::function<void(size_t)>& fn) {
+  if (count == 0) return;
+  if (num_threads <= 1 || count == 1) {
+    for (size_t i = 0; i < count; ++i) fn(i);
+    return;
+  }
+  std::atomic<size_t> next{0};
+  auto worker = [&]() {
+    for (;;) {
+      size_t i = next.fetch_add(1, std::memory_order_relaxed);
+      if (i >= count) return;
+      fn(i);
+    }
+  };
+  size_t spawned =
+      std::min<size_t>(num_threads, count) - 1;  // this thread works too
+  std::vector<std::thread> threads;
+  threads.reserve(spawned);
+  for (size_t t = 0; t < spawned; ++t) threads.emplace_back(worker);
+  worker();
+  for (auto& t : threads) t.join();
+}
+
+}  // namespace krcore

@@ -1,0 +1,35 @@
+#ifndef KRCORE_CORE_PARALLEL_H_
+#define KRCORE_CORE_PARALLEL_H_
+
+#include <cstdint>
+#include <functional>
+
+namespace krcore {
+
+/// Thread configuration for the per-component parallel search drivers.
+/// Sec 4.1 guarantees every (k,r)-core lives inside exactly one component
+/// of the preprocessed graph, so components are independent search units.
+struct ParallelOptions {
+  /// 1 = sequential (default), 0 = one thread per hardware core.
+  uint32_t num_threads = 1;
+
+  /// num_threads with 0 resolved to std::thread::hardware_concurrency()
+  /// (minimum 1).
+  uint32_t Resolve() const;
+};
+
+/// Runs fn(index) for every index in [0, count) across `num_threads` OS
+/// threads using a shared atomic work queue: each worker steals the next
+/// unclaimed index as soon as it finishes its current one, so a skewed
+/// component-size distribution (the common case after preprocessing — one
+/// giant component plus a tail) keeps every core busy.
+///
+/// fn must be safe to call concurrently for distinct indexes. Indexes are
+/// claimed in ascending order, so with num_threads == 1 the execution order
+/// matches a plain loop. Exceptions must not escape fn.
+void ParallelFor(uint32_t num_threads, size_t count,
+                 const std::function<void(size_t)>& fn);
+
+}  // namespace krcore
+
+#endif  // KRCORE_CORE_PARALLEL_H_

@@ -1,22 +1,80 @@
 #include "core/pipeline.h"
 
 #include <algorithm>
+#include <atomic>
+#include <functional>
 #include <numeric>
 
+#include "core/parallel.h"
 #include "graph/connectivity.h"
 #include "graph/graph_builder.h"
 #include "kcore/core_decomposition.h"
+#include "util/timer.h"
 
 namespace krcore {
+namespace {
 
-bool ComponentContext::Dissimilar(VertexId u, VertexId v) const {
-  const auto& d = dissimilar[u];
-  return std::binary_search(d.begin(), d.end(), v);
+/// Builds one component's context: induced structure graph plus the flat
+/// dissimilarity index, evaluating vertex pairs tile by tile so both
+/// attribute ranges stay cache-resident during the O(n^2) sweep. The
+/// deadline is polled every few thousand evaluations; on expiry (or when
+/// another worker already expired via *aborted) the build stops early and
+/// the returned context must be discarded. Returns the builder's peak
+/// transient byte count through *transient_bytes.
+ComponentContext BuildComponent(const Graph& similar_only,
+                                const SimilarityOracle& oracle,
+                                const std::vector<VertexId>& comp,
+                                const PreprocessOptions& opts,
+                                const Deadline& deadline,
+                                std::atomic<bool>* aborted,
+                                uint64_t* transient_bytes) {
+  ComponentContext ctx;
+  auto induced = BuildInducedSubgraph(similar_only, comp);
+  ctx.graph = std::move(induced.graph);
+  ctx.to_parent = std::move(induced.to_parent);
+
+  const VertexId n = ctx.size();
+  const VertexId tile = std::max<VertexId>(1, opts.tile_size);
+  DissimilarityIndex::Builder builder(n);
+  uint64_t since_poll = 0;
+  for (VertexId a0 = 0; a0 < n; a0 += tile) {
+    const VertexId a1 = std::min<VertexId>(a0 + tile, n);
+    for (VertexId b0 = a0; b0 < n; b0 += tile) {
+      const VertexId b1 = std::min<VertexId>(b0 + tile, n);
+      for (VertexId a = a0; a < a1; ++a) {
+        const VertexId pa = ctx.to_parent[a];
+        const VertexId b_begin = std::max<VertexId>(b0, a + 1);
+        if ((since_poll += b1 - b_begin) >= 8192) {
+          since_poll = 0;
+          if (aborted->load(std::memory_order_relaxed) ||
+              deadline.Expired()) {
+            aborted->store(true, std::memory_order_relaxed);
+            *transient_bytes = builder.MemoryBytes();
+            return ctx;
+          }
+        }
+        for (VertexId b = b_begin; b < b1; ++b) {
+          if (!oracle.Similar(pa, ctx.to_parent[b])) builder.AddPair(a, b);
+        }
+      }
+    }
+  }
+  // During Build() the packed pair buffer and the CSR arrays coexist until
+  // the fill pass completes, so the transient peak is the sum of both
+  // (slightly conservative: bitsets are built after the pairs are freed).
+  const uint64_t builder_bytes = builder.MemoryBytes();
+  ctx.dissimilar = builder.Build(opts.bitset_min_degree);
+  *transient_bytes = builder_bytes + ctx.dissimilar.MemoryBytes();
+  return ctx;
 }
+
+}  // namespace
 
 Status PrepareComponents(const Graph& g, const SimilarityOracle& oracle,
                          const PipelineOptions& options,
-                         std::vector<ComponentContext>* out) {
+                         std::vector<ComponentContext>* out,
+                         PreprocessReport* report) {
+  Timer timer;
   out->clear();
   if (options.k == 0) {
     return Status::InvalidArgument("k must be a positive integer");
@@ -34,40 +92,52 @@ Status PrepareComponents(const Graph& g, const SimilarityOracle& oracle,
 
   // Line 3: k-core of the filtered graph.
   std::vector<VertexId> core_vertices = KCoreVertices(similar_only, options.k);
-  if (core_vertices.empty()) return Status::OK();
+  if (core_vertices.empty()) {
+    if (report != nullptr) {
+      *report = PreprocessReport{};
+      report->seconds = timer.ElapsedSeconds();
+    }
+    return Status::OK();
+  }
 
   // Line 4: connected components (within the k-core).
   auto components = ComponentsOfSubset(similar_only, core_vertices);
 
-  // Guard the O(|comp|^2) pairwise materialization.
-  uint64_t pair_budget = 0;
+  // Optional legacy guard on the O(|comp|^2) pairwise work. The blocked
+  // builder below streams tiles, so by default (budget 0) any component
+  // size is accepted.
+  uint64_t total_pairs = 0;
   for (const auto& comp : components) {
-    pair_budget += static_cast<uint64_t>(comp.size()) * comp.size() / 2;
+    const uint64_t sz = comp.size();
+    total_pairs += sz * (sz - 1) / 2;
   }
-  if (pair_budget > options.max_pair_budget) {
+  if (options.preprocess.max_pair_budget > 0 &&
+      total_pairs > options.preprocess.max_pair_budget) {
     return Status::ResourceExhausted(
-        "component pairwise-similarity budget exceeded; raise "
-        "PipelineOptions::max_pair_budget or tighten k/r");
+        "component pairwise-similarity budget exceeded; raise or zero "
+        "PreprocessOptions::max_pair_budget (0 = unlimited)");
   }
 
-  out->reserve(components.size());
-  for (const auto& comp : components) {
-    ComponentContext ctx;
-    auto induced = BuildInducedSubgraph(similar_only, comp);
-    ctx.graph = std::move(induced.graph);
-    ctx.to_parent = std::move(induced.to_parent);
-    const VertexId n = ctx.size();
-    ctx.dissimilar.assign(n, {});
-    for (VertexId a = 0; a < n; ++a) {
-      for (VertexId b = a + 1; b < n; ++b) {
-        if (!oracle.Similar(ctx.to_parent[a], ctx.to_parent[b])) {
-          ctx.dissimilar[a].push_back(b);
-          ctx.dissimilar[b].push_back(a);
-          ++ctx.num_dissimilar_pairs;
-        }
-      }
-    }
-    out->push_back(std::move(ctx));
+  // Components are independent: build their contexts in parallel. Each slot
+  // is written by exactly one worker, so the output is identical for any
+  // thread count.
+  out->resize(components.size());
+  std::vector<uint64_t> transients(components.size(), 0);
+  std::atomic<bool> aborted{false};
+  ParallelOptions par;
+  par.num_threads = options.preprocess.num_threads;
+  const uint32_t threads = par.Resolve();
+  ParallelFor(threads, components.size(), [&](size_t i) {
+    if (aborted.load(std::memory_order_relaxed)) return;
+    (*out)[i] =
+        BuildComponent(similar_only, oracle, components[i],
+                       options.preprocess, options.deadline, &aborted,
+                       &transients[i]);
+  });
+  if (aborted.load()) {
+    out->clear();
+    return Status::DeadlineExceeded(
+        "preprocessing budget expired during the pairwise similarity sweep");
   }
 
   if (options.order_by_max_degree) {
@@ -78,7 +148,39 @@ Status PrepareComponents(const Graph& g, const SimilarityOracle& oracle,
                        return a.graph.max_degree() > b.graph.max_degree();
                      });
   }
+
+  if (report != nullptr) {
+    *report = PreprocessReport{};
+    report->components = out->size();
+    report->pairs_evaluated = total_pairs;
+    for (const auto& ctx : *out) {
+      report->vertices += ctx.size();
+      report->edges += ctx.graph.num_edges();
+      report->dissimilar_pairs += ctx.num_dissimilar_pairs();
+      report->index_bytes += ctx.dissimilar.MemoryBytes();
+      report->bitset_rows += ctx.dissimilar.bitset_rows();
+    }
+    report->dissimilar_density =
+        total_pairs == 0 ? 0.0
+                         : static_cast<double>(report->dissimilar_pairs) /
+                               static_cast<double>(total_pairs);
+    // Up to `threads` builders are live at once, so the transient estimate
+    // is the sum of the largest `threads` per-component buffers.
+    std::sort(transients.begin(), transients.end(), std::greater<>());
+    uint64_t transient_peak = 0;
+    for (size_t i = 0; i < transients.size() && i < threads; ++i) {
+      transient_peak += transients[i];
+    }
+    report->peak_bytes = report->index_bytes + transient_peak;
+    report->seconds = timer.ElapsedSeconds();
+  }
   return Status::OK();
+}
+
+Status PrepareComponents(const Graph& g, const SimilarityOracle& oracle,
+                         const PipelineOptions& options,
+                         std::vector<ComponentContext>* out) {
+  return PrepareComponents(g, oracle, options, out, nullptr);
 }
 
 }  // namespace krcore

@@ -3,7 +3,9 @@
 
 #include <vector>
 
+#include "core/dissimilarity_index.h"
 #include "core/krcore_types.h"
+#include "core/preprocess_options.h"
 #include "graph/graph.h"
 #include "similarity/similarity_oracle.h"
 #include "util/status.h"
@@ -15,36 +17,52 @@ namespace krcore {
 /// with dense local ids and with all pairwise dissimilarity materialized.
 ///
 /// Every (k,r)-core of the input graph lives entirely inside exactly one
-/// component (Sec 4.1), so the search runs per component with local ids.
+/// component (Sec 4.1), so the search runs per component with local ids —
+/// and components are independent search units, which the parallel drivers
+/// in enumerate/maximum exploit.
 struct ComponentContext {
   /// Induced structure graph over local ids (every edge already similar).
   Graph graph;
   /// Local id -> original graph id.
   std::vector<VertexId> to_parent;
-  /// dissimilar[u] = sorted local ids v with sim(u,v) violating r. This is
-  /// the complement of the component's similarity graph; all engine-side
-  /// similarity tests run on these lists (the oracle is not consulted again).
-  std::vector<std::vector<VertexId>> dissimilar;
-  /// Total number of dissimilar pairs in the component (DP of Sec 7.1).
-  uint64_t num_dissimilar_pairs = 0;
+  /// Flat CSR (+ hot-row bitset) dissimilarity substrate: dissimilar[u] is
+  /// the sorted local ids v with sim(u,v) violating r. This is the
+  /// complement of the component's similarity graph; all engine-side
+  /// similarity tests run on it (the oracle is not consulted again).
+  DissimilarityIndex dissimilar;
 
   VertexId size() const { return graph.num_vertices(); }
-  bool Dissimilar(VertexId u, VertexId v) const;
+  /// Total number of dissimilar pairs in the component (DP of Sec 7.1).
+  uint64_t num_dissimilar_pairs() const { return dissimilar.num_pairs(); }
+  bool Dissimilar(VertexId u, VertexId v) const {
+    return dissimilar.Dissimilar(u, v);
+  }
 };
 
 struct PipelineOptions {
   uint32_t k = 1;
-  /// Refuses preprocessing when the sum over components of
-  /// |component|^2 / 2 exceeds this many pairwise similarity evaluations.
-  uint64_t max_pair_budget = 64ull << 20;
+  /// Blocked-builder knobs shared with every mining entry point.
+  PreprocessOptions preprocess;
   /// Sort components so the one containing the globally highest-degree
   /// vertex is searched first (Sec 6.1's seeding rule for FindMaximum).
   bool order_by_max_degree = true;
+  /// Wall-clock budget for the pair sweep itself: with no default pair
+  /// budget the O(n^2) evaluation can be long, so the mining entry points
+  /// forward their deadline here and expiry yields DeadlineExceeded.
+  Deadline deadline;
 };
 
 /// Runs the shared preprocessing of Algorithm 1 (lines 1-4): removes edges
 /// between dissimilar endpoints, extracts the k-core, splits into connected
-/// components and materializes per-component dissimilarity.
+/// components and materializes per-component dissimilarity with the blocked
+/// (tiled) pair evaluator. `report`, when non-null, receives the work and
+/// memory accounting of the run.
+Status PrepareComponents(const Graph& g, const SimilarityOracle& oracle,
+                         const PipelineOptions& options,
+                         std::vector<ComponentContext>* out,
+                         PreprocessReport* report);
+
+/// Overload without report collection.
 Status PrepareComponents(const Graph& g, const SimilarityOracle& oracle,
                          const PipelineOptions& options,
                          std::vector<ComponentContext>* out);

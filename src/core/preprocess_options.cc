@@ -1,0 +1,22 @@
+#include "core/preprocess_options.h"
+
+#include <cstdio>
+
+namespace krcore {
+
+std::string PreprocessReport::ToString() const {
+  char buf[320];
+  std::snprintf(
+      buf, sizeof(buf),
+      "components=%llu vertices=%llu edges=%llu pairs_evaluated=%llu "
+      "dissimilar_pairs=%llu density=%.4f index_bytes=%llu peak_bytes=%llu "
+      "bitset_rows=%llu seconds=%.3f",
+      (unsigned long long)components, (unsigned long long)vertices,
+      (unsigned long long)edges, (unsigned long long)pairs_evaluated,
+      (unsigned long long)dissimilar_pairs, dissimilar_density,
+      (unsigned long long)index_bytes, (unsigned long long)peak_bytes,
+      (unsigned long long)bitset_rows, seconds);
+  return buf;
+}
+
+}  // namespace krcore

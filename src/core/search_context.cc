@@ -80,11 +80,11 @@ SearchContext::SearchContext(const ComponentContext& comp, uint32_t k,
 
   for (VertexId u = 0; u < n; ++u) {
     deg_mc_[u] = comp.graph.degree(u);
-    dp_c_[u] = static_cast<uint32_t>(comp.dissimilar[u].size());
+    dp_c_[u] = comp.dissimilar.degree(u);
     if (dp_c_[u] == 0) ++sf_count_;
     c_list_.PushFront(u);
   }
-  dp_pairs_c_ = comp.num_dissimilar_pairs;
+  dp_pairs_c_ = comp.num_dissimilar_pairs();
   edges_mc_ = comp.graph.num_edges();
 
   // The component comes from the k-core, so the degree invariant (Eq. 2)

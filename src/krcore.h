@@ -22,10 +22,13 @@
 #include "clique/bron_kerbosch.h"
 #include "coloring/greedy_coloring.h"
 #include "core/clique_method.h"
+#include "core/dissimilarity_index.h"
 #include "core/enumerate.h"
 #include "core/krcore_types.h"
 #include "core/maximum.h"
 #include "core/naive_enum.h"
+#include "core/parallel.h"
+#include "core/preprocess_options.h"
 #include "core/verify.h"
 #include "datasets/generators.h"
 #include "graph/connectivity.h"

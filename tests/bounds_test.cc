@@ -116,16 +116,7 @@ TEST(Bounds, PaperExampleFigure4) {
   ComponentContext comp;
   comp.graph = j;
   comp.to_parent = {0, 1, 2, 3, 4, 5};
-  comp.dissimilar.assign(6, {});
-  auto AddDis = [&comp](VertexId a, VertexId b) {
-    comp.dissimilar[a].push_back(b);
-    comp.dissimilar[b].push_back(a);
-    ++comp.num_dissimilar_pairs;
-  };
-  AddDis(1, 3);
-  AddDis(1, 4);
-  AddDis(2, 5);
-  for (auto& d : comp.dissimilar) std::sort(d.begin(), d.end());
+  comp.dissimilar = test::MakeDissimilarity(6, {{1, 3}, {1, 4}, {2, 5}});
 
   SearchContext ctx(comp, 3, true);
   // Similarity graph J' has 15 - 3 = 12 edges; a 5-clique would need all
@@ -143,7 +134,7 @@ TEST(Bounds, EmptyContextIsZero) {
   ComponentContext comp;
   comp.graph = MakeGraph(3, {{0, 1}, {1, 2}, {0, 2}});
   comp.to_parent = {0, 1, 2};
-  comp.dissimilar.assign(3, {});
+  comp.dissimilar = test::MakeDissimilarity(3, {});
   SearchContext ctx(comp, 2, true);
   EXPECT_EQ(NaiveSizeBound(ctx), 3u);
   EXPECT_EQ(ColorSizeBound(ctx), 3u);   // J' complete on 3 vertices
@@ -160,7 +151,7 @@ TEST(Bounds, AllSimilarCliqueBoundsAreTight) {
   ComponentContext comp;
   comp.graph = MakeGraph(6, edges);
   comp.to_parent = {0, 1, 2, 3, 4, 5};
-  comp.dissimilar.assign(6, {});
+  comp.dissimilar = test::MakeDissimilarity(6, {});
   SearchContext ctx(comp, 3, true);
   EXPECT_EQ(ColorSizeBound(ctx), 6u);
   EXPECT_EQ(KcoreSizeBound(ctx), 6u);
@@ -180,14 +171,9 @@ TEST(Bounds, DoubleKcoreUsesStructureConstraint) {
   comp.graph =
       MakeGraph(6, {{0, 1}, {1, 2}, {2, 3}, {3, 4}, {4, 5}, {5, 0}});
   comp.to_parent = {0, 1, 2, 3, 4, 5};
-  comp.dissimilar.assign(6, {});
-  auto AddDis = [&comp](VertexId a, VertexId b) {
-    comp.dissimilar[a].push_back(b);
-    comp.dissimilar[b].push_back(a);
-    ++comp.num_dissimilar_pairs;
-  };
-  for (VertexId x = 0; x < 5; ++x) AddDis(x, 5);
-  for (auto& d : comp.dissimilar) std::sort(d.begin(), d.end());
+  std::vector<std::pair<VertexId, VertexId>> dis;
+  for (VertexId x = 0; x < 5; ++x) dis.emplace_back(x, 5);
+  comp.dissimilar = test::MakeDissimilarity(6, dis);
 
   SearchContext ctx(comp, 2, true);
   EXPECT_EQ(KkPrimeSizeBound(ctx, 0), 5u);  // similarity-only degeneracy + 1

@@ -1,0 +1,135 @@
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <vector>
+
+#include "core/enumerate.h"
+#include "core/maximum.h"
+#include "core/parallel.h"
+#include "core/pipeline.h"
+#include "test_helpers.h"
+
+namespace krcore {
+namespace {
+
+TEST(ParallelFor, CoversEveryIndexOnce) {
+  for (uint32_t threads : {1u, 2u, 4u, 8u}) {
+    std::vector<std::atomic<uint32_t>> hits(257);
+    for (auto& h : hits) h.store(0);
+    ParallelFor(threads, hits.size(),
+                [&](size_t i) { hits[i].fetch_add(1); });
+    for (size_t i = 0; i < hits.size(); ++i) {
+      EXPECT_EQ(hits[i].load(), 1u) << "index " << i << " threads " << threads;
+    }
+  }
+}
+
+TEST(ParallelFor, ZeroCountIsANoop) {
+  ParallelFor(4, 0, [](size_t) { FAIL() << "must not be called"; });
+}
+
+TEST(ParallelOptions, ResolveZeroMeansHardware) {
+  ParallelOptions p;
+  p.num_threads = 0;
+  EXPECT_GE(p.Resolve(), 1u);
+  p.num_threads = 3;
+  EXPECT_EQ(p.Resolve(), 3u);
+}
+
+TEST(ParallelPipeline, ThreadCountDoesNotChangeComponents) {
+  auto dataset = test::MakeRandomGeo(120, 500, 77);
+  SimilarityOracle oracle(&dataset.attributes, dataset.metric, 0.45);
+  PipelineOptions opts;
+  opts.k = 2;
+  std::vector<ComponentContext> seq, par;
+  ASSERT_TRUE(PrepareComponents(dataset.graph, oracle, opts, &seq).ok());
+  opts.preprocess.num_threads = 4;
+  ASSERT_TRUE(PrepareComponents(dataset.graph, oracle, opts, &par).ok());
+  ASSERT_EQ(seq.size(), par.size());
+  for (size_t i = 0; i < seq.size(); ++i) {
+    ASSERT_EQ(seq[i].size(), par[i].size());
+    EXPECT_EQ(seq[i].to_parent, par[i].to_parent);
+    EXPECT_EQ(seq[i].num_dissimilar_pairs(), par[i].num_dissimilar_pairs());
+    for (VertexId u = 0; u < seq[i].size(); ++u) {
+      auto a = seq[i].dissimilar[u];
+      auto b = par[i].dissimilar[u];
+      ASSERT_TRUE(std::equal(a.begin(), a.end(), b.begin(), b.end()));
+    }
+  }
+}
+
+/// Acceptance requirement: enumeration with num_threads > 1 produces
+/// byte-identical sorted result sets to the sequential path.
+class ParallelEnumSweep : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(ParallelEnumSweep, ThreadsDoNotChangeMaximalCores) {
+  for (bool geo : {true, false}) {
+    Dataset dataset = geo ? test::MakeRandomGeo(60, 260, GetParam())
+                          : test::MakeRandomKeyword(60, 260, GetParam());
+    double r = geo ? 0.4 : 0.25;
+    SimilarityOracle oracle(&dataset.attributes, dataset.metric, r);
+    EnumOptions opts = AdvEnumOptions(2);
+    auto sequential = EnumerateMaximalCores(dataset.graph, oracle, opts);
+    ASSERT_TRUE(sequential.status.ok());
+    for (uint32_t threads : {2u, 4u, 7u}) {
+      opts.parallel.num_threads = threads;
+      auto parallel = EnumerateMaximalCores(dataset.graph, oracle, opts);
+      ASSERT_TRUE(parallel.status.ok());
+      EXPECT_EQ(parallel.cores, sequential.cores)
+          << "threads=" << threads << " geo=" << geo
+          << " seed=" << GetParam();
+      EXPECT_EQ(parallel.stats.components, sequential.stats.components);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, ParallelEnumSweep,
+                         ::testing::Range<uint64_t>(0, 6));
+
+TEST(ParallelEnum, BasicVariantAlsoDeterministic) {
+  auto dataset = test::MakeRandomGeo(50, 220, 3);
+  SimilarityOracle oracle(&dataset.attributes, dataset.metric, 0.45);
+  EnumOptions opts = BasicEnumOptions(2);
+  auto sequential = EnumerateMaximalCores(dataset.graph, oracle, opts);
+  ASSERT_TRUE(sequential.status.ok());
+  opts.parallel.num_threads = 4;
+  auto parallel = EnumerateMaximalCores(dataset.graph, oracle, opts);
+  ASSERT_TRUE(parallel.status.ok());
+  EXPECT_EQ(parallel.cores, sequential.cores);
+}
+
+class ParallelMaxSweep : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(ParallelMaxSweep, ThreadsDoNotChangeMaximumSize) {
+  auto dataset = test::MakeRandomGeo(60, 260, GetParam());
+  SimilarityOracle oracle(&dataset.attributes, dataset.metric, 0.45);
+  MaxOptions opts = AdvMaxOptions(2);
+  auto sequential = FindMaximumCore(dataset.graph, oracle, opts);
+  ASSERT_TRUE(sequential.status.ok());
+  for (uint32_t threads : {2u, 4u}) {
+    opts.parallel.num_threads = threads;
+    auto parallel = FindMaximumCore(dataset.graph, oracle, opts);
+    ASSERT_TRUE(parallel.status.ok());
+    // The maximum *size* is schedule-independent (the set may differ among
+    // equal-sized maxima; see MaxOptions::parallel).
+    EXPECT_EQ(parallel.best.size(), sequential.best.size())
+        << "threads=" << threads << " seed=" << GetParam();
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, ParallelMaxSweep,
+                         ::testing::Range<uint64_t>(0, 6));
+
+TEST(ParallelEnum, DeadlineStillPropagates) {
+  auto dataset = test::MakeRandomGeo(40, 200, 5);
+  SimilarityOracle oracle(&dataset.attributes, dataset.metric, 0.8);
+  EnumOptions opts = AdvEnumOptions(2);
+  opts.deadline = Deadline::AfterSeconds(-1.0);
+  opts.parallel.num_threads = 4;
+  auto result = EnumerateMaximalCores(dataset.graph, oracle, opts);
+  EXPECT_TRUE(result.status.IsDeadlineExceeded());
+}
+
+}  // namespace
+}  // namespace krcore

@@ -29,7 +29,7 @@ TEST(Pipeline, TriangleSurvivesK2) {
   ASSERT_TRUE(PrepareComponents(fixture.graph, oracle, opts, &comps).ok());
   ASSERT_EQ(comps.size(), 1u);
   EXPECT_EQ(comps[0].size(), 3u);
-  EXPECT_EQ(comps[0].num_dissimilar_pairs, 0u);
+  EXPECT_EQ(comps[0].num_dissimilar_pairs(), 0u);
 }
 
 TEST(Pipeline, DissimilarEdgeRemovalBreaksCore) {
@@ -82,7 +82,7 @@ TEST(Pipeline, DissimilarPairsMaterialized) {
   ASSERT_TRUE(PrepareComponents(fixture.graph, oracle, opts, &comps).ok());
   ASSERT_EQ(comps.size(), 1u);
   EXPECT_EQ(comps[0].size(), 3u);
-  EXPECT_EQ(comps[0].num_dissimilar_pairs, 0u);
+  EXPECT_EQ(comps[0].num_dissimilar_pairs(), 0u);
 }
 
 TEST(Pipeline, DissimilarNonEdgesKept) {
@@ -109,7 +109,7 @@ TEST(Pipeline, DissimilarNonEdgesKept) {
   ASSERT_TRUE(PrepareComponents(fixture.graph, oracle, opts, &comps).ok());
   ASSERT_EQ(comps.size(), 1u);
   EXPECT_EQ(comps[0].size(), 4u);
-  EXPECT_EQ(comps[0].num_dissimilar_pairs, 1u);
+  EXPECT_EQ(comps[0].num_dissimilar_pairs(), 1u);
   // Identify local ids of parents 0 and 2.
   VertexId l0 = kInvalidVertex, l2 = kInvalidVertex;
   for (VertexId i = 0; i < 4; ++i) {
@@ -121,15 +121,106 @@ TEST(Pipeline, DissimilarNonEdgesKept) {
                                                           : (l0 + 1) % 4));
 }
 
-TEST(Pipeline, PairBudgetEnforced) {
+TEST(Pipeline, ExplicitPairBudgetStillEnforced) {
+  // A positive budget keeps the legacy hard-refusal semantics for callers
+  // that want a latency guard; the default (0) is unlimited.
   auto fixture = MakeGrouped(3, {{0, 1}, {1, 2}, {0, 2}}, {0, 0, 0});
   auto oracle = fixture.MakeOracle();
   PipelineOptions opts;
   opts.k = 2;
-  opts.max_pair_budget = 1;
+  opts.preprocess.max_pair_budget = 1;
   std::vector<ComponentContext> comps;
   EXPECT_TRUE(PrepareComponents(fixture.graph, oracle, opts, &comps)
                   .IsResourceExhausted());
+}
+
+TEST(Pipeline, LargeComponentAboveLegacyBudgetIsHandled) {
+  // A ring of n vertices, all similar, is one k=2 component with
+  // n*(n-1)/2 pairwise evaluations — above the old hard-coded 64M-pair
+  // refusal threshold for n = 12000. The blocked builder must stream
+  // through it instead of refusing.
+  const VertexId n = 12000;
+  std::vector<std::pair<VertexId, VertexId>> edges;
+  edges.reserve(n);
+  for (VertexId u = 0; u < n; ++u) edges.emplace_back(u, (u + 1) % n);
+  auto fixture = MakeGrouped(n, edges, std::vector<uint32_t>(n, 0));
+  auto oracle = fixture.MakeOracle();
+  PipelineOptions opts;
+  opts.k = 2;
+  std::vector<ComponentContext> comps;
+  PreprocessReport report;
+  ASSERT_TRUE(
+      PrepareComponents(fixture.graph, oracle, opts, &comps, &report).ok());
+  ASSERT_EQ(comps.size(), 1u);
+  EXPECT_EQ(comps[0].size(), n);
+  EXPECT_EQ(comps[0].num_dissimilar_pairs(), 0u);
+  EXPECT_GT(report.pairs_evaluated, 64ull << 20);
+  EXPECT_EQ(report.dissimilar_pairs, 0u);
+}
+
+TEST(Pipeline, ReportCountsWorkAndDensity) {
+  // C4 with one dissimilar diagonal (see DissimilarNonEdgesKept): 6 pairs
+  // evaluated, 1 dissimilar.
+  auto fixture = MakeGrouped(4, {{0, 1}, {1, 2}, {2, 3}, {3, 0}},
+                             {0, 0, 0, 0});
+  std::vector<GeoPoint> pts{{0.0, 0.0}, {0.9, 0.0}, {1.8, 0.0}, {0.9, 0.0}};
+  fixture.attributes = AttributeTable::ForGeo(std::move(pts));
+  auto oracle = fixture.MakeOracle();
+  PipelineOptions opts;
+  opts.k = 2;
+  std::vector<ComponentContext> comps;
+  PreprocessReport report;
+  ASSERT_TRUE(
+      PrepareComponents(fixture.graph, oracle, opts, &comps, &report).ok());
+  EXPECT_EQ(report.components, 1u);
+  EXPECT_EQ(report.vertices, 4u);
+  EXPECT_EQ(report.pairs_evaluated, 6u);
+  EXPECT_EQ(report.dissimilar_pairs, 1u);
+  EXPECT_DOUBLE_EQ(report.dissimilar_density, 1.0 / 6.0);
+  EXPECT_GT(report.index_bytes, 0u);
+  EXPECT_GE(report.peak_bytes, report.index_bytes);
+}
+
+TEST(Pipeline, ExpiredDeadlineAbortsPairSweep) {
+  // A 200-vertex ring (19900 pairwise evaluations) crosses the sweep's
+  // poll interval, so an already-expired deadline must surface as
+  // DeadlineExceeded instead of silently completing.
+  const VertexId n = 200;
+  std::vector<std::pair<VertexId, VertexId>> edges;
+  for (VertexId u = 0; u < n; ++u) edges.emplace_back(u, (u + 1) % n);
+  auto fixture = MakeGrouped(n, edges, std::vector<uint32_t>(n, 0));
+  auto oracle = fixture.MakeOracle();
+  PipelineOptions opts;
+  opts.k = 2;
+  opts.deadline = Deadline::AfterSeconds(-1.0);
+  std::vector<ComponentContext> comps;
+  EXPECT_TRUE(PrepareComponents(fixture.graph, oracle, opts, &comps)
+                  .IsDeadlineExceeded());
+  EXPECT_TRUE(comps.empty());
+}
+
+TEST(Pipeline, TinyTilesMatchDefaultTiling) {
+  // The tiled evaluator must visit every unordered pair exactly once for
+  // any tile size.
+  auto dataset = test::MakeRandomGeo(40, 160, 9);
+  SimilarityOracle oracle(&dataset.attributes, dataset.metric, 0.5);
+  PipelineOptions opts;
+  opts.k = 2;
+  std::vector<ComponentContext> base, tiled;
+  ASSERT_TRUE(PrepareComponents(dataset.graph, oracle, opts, &base).ok());
+  opts.preprocess.tile_size = 3;
+  ASSERT_TRUE(PrepareComponents(dataset.graph, oracle, opts, &tiled).ok());
+  ASSERT_EQ(base.size(), tiled.size());
+  for (size_t i = 0; i < base.size(); ++i) {
+    ASSERT_EQ(base[i].size(), tiled[i].size());
+    EXPECT_EQ(base[i].num_dissimilar_pairs(), tiled[i].num_dissimilar_pairs());
+    for (VertexId u = 0; u < base[i].size(); ++u) {
+      auto a = base[i].dissimilar[u];
+      auto b = tiled[i].dissimilar[u];
+      ASSERT_TRUE(std::equal(a.begin(), a.end(), b.begin(), b.end()))
+          << "row " << u << " differs";
+    }
+  }
 }
 
 TEST(Pipeline, MaxDegreeOrdering) {

@@ -4,6 +4,7 @@
 #include <utility>
 #include <vector>
 
+#include "core/dissimilarity_index.h"
 #include "datasets/dataset.h"
 #include "datasets/generators.h"
 #include "graph/graph_builder.h"
@@ -13,6 +14,15 @@
 
 namespace krcore {
 namespace test {
+
+/// Builds a DissimilarityIndex from an explicit unordered-pair list (the
+/// hand-constructed component fixtures use this instead of the pipeline).
+inline DissimilarityIndex MakeDissimilarity(
+    VertexId n, const std::vector<std::pair<VertexId, VertexId>>& pairs) {
+  DissimilarityIndex::Builder builder(n);
+  for (auto [a, b] : pairs) builder.AddPair(a, b);
+  return builder.Build();
+}
 
 /// An attributed test graph where similarity is *explicitly specified*: each
 /// vertex gets a singleton keyword set; similar groups share the keyword.
