@@ -33,6 +33,16 @@ void RunPoint(const Dataset& dataset, double r, uint32_t k,
     Measurement m = MeasureMax(variant, x_label, result);
     std::printf(" %s=%-9s", variant, m.TimeString().c_str());
     report->Add(std::move(m));
+    // Tiered-bound breakdown: how often the free |M|+|C| check settled the
+    // node, how often the cached expensive value was reused, and how many
+    // expensive evaluations actually ran.
+    const MiningStats& s = result.stats;
+    std::printf(
+        "[naive=%llu cache=%llu exp=%llu recomp=%llu]",
+        (unsigned long long)s.bound_naive_prunes,
+        (unsigned long long)s.bound_cache_hits,
+        (unsigned long long)s.bound_expensive_prunes,
+        (unsigned long long)s.bound_recomputes);
   }
   std::printf("\n");
 }

@@ -7,6 +7,7 @@
 // graph materializes a large number of cliques.
 //
 // Usage: bench_fig8_clique [--scale=] [--timeout=] [--quick] [--csv=]
+//                          [--json=BENCH_fig8.json]
 
 #include <cstdio>
 #include <vector>
@@ -50,8 +51,8 @@ int main(int argc, char** argv) {
   OptionParser options(argc, argv);
   auto env = ExperimentEnv::FromOptions(options);
 
+  FigureReport report_a("Fig8a", "Clique+ vs BasicEnum, Gowalla, k=5");
   {
-    FigureReport report("Fig8a", "Clique+ vs BasicEnum, Gowalla, k=5");
     const Dataset& gowalla = GetDataset("gowalla", env);
     std::vector<double> rs = env.quick ? std::vector<double>{2, 6}
                                        : std::vector<double>{2, 4, 6, 8, 10};
@@ -59,13 +60,13 @@ int main(int argc, char** argv) {
     for (double r : rs) {
       char label[32];
       std::snprintf(label, sizeof(label), "r=%gkm", r);
-      RunPoint(gowalla, r, 5, label, env, &report);
+      RunPoint(gowalla, r, 5, label, env, &report_a);
     }
-    report.Finish(env);
+    report_a.Finish(env);
   }
 
+  FigureReport report_b("Fig8b", "Clique+ vs BasicEnum, DBLP, r=top3permille");
   {
-    FigureReport report("Fig8b", "Clique+ vs BasicEnum, DBLP, r=top3permille");
     const Dataset& dblp = GetDataset("dblp", env);
     double r = ResolveThresholdPermille(dblp, 3.0);
     std::vector<uint32_t> ks = env.quick
@@ -75,9 +76,21 @@ int main(int argc, char** argv) {
     for (uint32_t k : ks) {
       char label[32];
       std::snprintf(label, sizeof(label), "k=%u", k);
-      RunPoint(dblp, r, k, label, env, &report);
+      RunPoint(dblp, r, k, label, env, &report_b);
     }
-    report.Finish(env);
+    report_b.Finish(env);
+  }
+
+  if (!env.json_path.empty()) {
+    char command[128];
+    std::snprintf(command, sizeof(command),
+                  "bench_fig8_clique --scale=%g --timeout=%g", env.scale,
+                  env.timeout_seconds);
+    WriteJsonReport(
+        env.json_path, "bench_fig8_clique",
+        "Baseline: Clique+ vs BasicEnum on generated paper-analogue datasets "
+        "(gowalla k=5 r-sweep; dblp top-3-permille k-sweep).",
+        command, env, {&report_a, &report_b});
   }
   return 0;
 }

@@ -55,7 +55,13 @@ int main(int argc, char** argv) {
         "krcore_cli --graph=E --attrs=A --metric=M --k=K --r=R "
         "[--mode=enum|max] [--timeout=S] [--threads=N] [--out=F]\n"
         "krcore_cli --dataset=brightkite|gowalla|dblp|pokec [--scale=S] "
-        "--k=K (--r=R | --permille=P) [--mode=...]\n");
+        "--k=K (--r=R | --permille=P) [--mode=...]\n"
+        "  --threads=N       0 = all hardware cores, 1 = sequential\n"
+        "  --split_depth=D   fork subtree tasks down to depth D (default 6,\n"
+        "                    0 = per-component parallelism only)\n"
+        "  --bound_refresh=N recompute the expensive size bound at most\n"
+        "                    every N nodes (max mode, default 64)\n"
+        "  --no_seed         skip the greedy incumbent seed (max mode)\n");
     return 0;
   }
 
@@ -106,8 +112,11 @@ int main(int argc, char** argv) {
   SimilarityOracle oracle = dataset.MakeOracle(r);
   double timeout = options.GetDouble("timeout", 60.0);
   std::string mode = options.GetString("mode", "enum");
-  // 1 = sequential, 0 = all hardware cores (per-component parallelism).
+  // 1 = sequential, 0 = all hardware cores (per-component parallelism plus
+  // intra-component subtree splitting down to --split_depth).
   uint32_t threads = static_cast<uint32_t>(options.GetInt("threads", 1));
+  uint32_t split_depth = static_cast<uint32_t>(
+      options.GetInt("split_depth", ParallelOptions{}.split_depth));
 
   std::ofstream out_file;
   std::FILE* sink = stdout;
@@ -135,6 +144,7 @@ int main(int argc, char** argv) {
     EnumOptions opts = AdvEnumOptions(k);
     opts.deadline = Deadline::AfterSeconds(timeout);
     opts.parallel.num_threads = threads;
+    opts.parallel.split_depth = split_depth;
     auto result = EnumerateMaximalCores(dataset.graph, oracle, opts);
     std::fprintf(stderr, "status: %s; %zu maximal (%u,r)-cores; %s\n",
                  result.status.ToString().c_str(), result.cores.size(), k,
@@ -146,6 +156,14 @@ int main(int argc, char** argv) {
     MaxOptions opts = AdvMaxOptions(k);
     opts.deadline = Deadline::AfterSeconds(timeout);
     opts.parallel.num_threads = threads;
+    opts.parallel.split_depth = split_depth;
+    int64_t bound_refresh =
+        options.GetInt("bound_refresh", MaxOptions{}.bound_refresh);
+    if (bound_refresh <= 0) {
+      return Fail("--bound_refresh must be a positive integer");
+    }
+    opts.bound_refresh = static_cast<uint32_t>(bound_refresh);
+    opts.use_seed_incumbent = !options.GetBool("no_seed", false);
     auto result = FindMaximumCore(dataset.graph, oracle, opts);
     std::fprintf(stderr, "status: %s; |maximum| = %zu; %s\n",
                  result.status.ToString().c_str(), result.best.size(),

@@ -28,6 +28,8 @@ struct ExperimentEnv {
   uint64_t seed = 1;
   /// Optional CSV output path ("" = none).
   std::string csv_path;
+  /// Optional JSON output path for WriteJsonReport ("" = none).
+  std::string json_path;
 
   static ExperimentEnv FromOptions(const OptionParser& options);
 };
@@ -64,11 +66,25 @@ class FigureReport {
   /// Print() then WriteCsv(env.csv_path) when set.
   void Finish(const ExperimentEnv& env) const;
 
+  const std::vector<Measurement>& measurements() const {
+    return measurements_;
+  }
+  const std::string& figure_id() const { return figure_id_; }
+
  private:
   std::string figure_id_;
   std::string title_;
   std::vector<Measurement> measurements_;
 };
+
+/// Writes the checked-in BENCH_*.json format: bench identity + config
+/// (including the measuring host's hardware concurrency, so scaling numbers
+/// are interpretable) + one record per measurement across all `figures`,
+/// with the per-tier bound counters and task-pool counters included.
+void WriteJsonReport(const std::string& path, const std::string& bench,
+                     const std::string& description,
+                     const std::string& command, const ExperimentEnv& env,
+                     const std::vector<const FigureReport*>& figures);
 
 /// Converts a MaximalCoresResult / MaximumCoreResult into a Measurement.
 Measurement MeasureEnum(const std::string& series, const std::string& x_label,

@@ -2,10 +2,14 @@
 
 #include <algorithm>
 #include <atomic>
+#include <memory>
+#include <mutex>
+#include <utility>
+#include <vector>
 
 #include "core/early_termination.h"
-#include "core/parallel.h"
 #include "core/maximal_check.h"
+#include "core/parallel.h"
 #include "core/result_set.h"
 #include "core/search_context.h"
 #include "core/search_order.h"
@@ -15,73 +19,168 @@
 namespace krcore {
 namespace {
 
-/// Per-component recursive enumerator implementing Algorithm 3 (and, with
-/// the advanced features disabled, the pruned Algorithm 1 baseline).
+/// A task's position in the component's fork tree: the root task has an
+/// empty path; a task forked as the parent's n-th spawn appends n. Paths are
+/// unique, and merging the per-task ResultSets in lexicographic path order
+/// keeps the merge independent of worker scheduling. (Completed-run output
+/// is byte-identical across thread counts regardless: enumeration explores
+/// the same search space however it is split, and the final
+/// FilterNonMaximal + TakeSorted canonicalize the set.)
+using TaskPath = std::vector<uint32_t>;
+
+/// Shared per-component enumeration state; every task of the component
+/// deposits its (path, results) part and merges stats/status here.
+struct EnumJob {
+  EnumJob(const ComponentContext& c, const EnumOptions& o,
+          std::atomic<bool>* f)
+      : comp(c), options(o), failed(f) {}
+
+  const ComponentContext& comp;
+  const EnumOptions& options;
+  std::atomic<bool>* failed;  // any task of any component errored: drain
+  TaskPool* pool = nullptr;   // null = sequential (no subtree forking)
+
+  std::mutex mu;
+  MiningStats stats;
+  Status status;  // first non-OK of any task
+  std::vector<std::pair<TaskPath, ResultSet>> parts;
+
+  void Finish(const MiningStats& task_stats, const Status& task_status,
+              TaskPath path, ResultSet results) {
+    if (!task_status.ok()) failed->store(true, std::memory_order_relaxed);
+    std::lock_guard<std::mutex> lock(mu);
+    stats.MergeFrom(task_stats);
+    if (status.ok() && !task_status.ok()) status = task_status;
+    parts.emplace_back(std::move(path), std::move(results));
+  }
+};
+
+/// One task of the per-component recursive enumerator implementing
+/// Algorithm 3 (and, with the advanced features disabled, the pruned
+/// Algorithm 1 baseline): either the component root or a forked subtree.
 class ComponentEnumerator {
  public:
-  ComponentEnumerator(const ComponentContext& comp, const EnumOptions& options,
-                      MiningStats* stats, ResultSet* results)
-      : comp_(comp),
-        options_(options),
-        stats_(stats),
-        results_(results),
-        ctx_(comp, options.k,
-             /*track_excluded=*/options.use_early_termination ||
-                 options.use_smart_maximal_check),
-        policy_(options.order, BranchOrder::kExpandFirst, options.lambda,
-                options.seed),
-        et_checker_(comp),
-        maximal_checker_(comp) {}
+  /// Root task: fresh context over the whole component.
+  explicit ComponentEnumerator(std::shared_ptr<EnumJob> job)
+      : ComponentEnumerator(std::move(job), /*placeholder=*/0) {}
 
-  Status Run() {
+  /// Subtree task: adopts a forked context at `depth`; Run(expand, u)
+  /// applies the deferred branch op first.
+  ComponentEnumerator(std::shared_ptr<EnumJob> job, SearchContext&& ctx,
+                      uint32_t depth, TaskPath path)
+      : job_(std::move(job)),
+        ctx_(std::move(ctx)),
+        depth_(depth),
+        path_(std::move(path)),
+        policy_(job_->options.order, BranchOrder::kExpandFirst,
+                job_->options.lambda, job_->options.seed),
+        et_checker_(job_->comp),
+        maximal_checker_(job_->comp) {}
+
+  void RunRoot() {
     // Root node: the whole component is C; apply the validation rules that
     // hold before any branching.
-    if (options_.use_retention) {
-      if (!ctx_.PromoteSimilarityFree(&stats_->promotions)) return Status::OK();
+    Status s = Status::OK();
+    bool alive = true;
+    if (options().use_retention) {
+      alive = ctx_.PromoteSimilarityFree(&stats_.promotions);
     }
-    return Visit();
+    if (alive) s = Visit(depth_);
+    job_->Finish(stats_, s, std::move(path_), std::move(results_));
+  }
+
+  void RunBranch(bool expand, VertexId u) {
+    Status s = Status::OK();
+    bool alive;
+    if (expand) {
+      ++stats_.expand_branches;
+      alive = ctx_.Expand(u);
+    } else {
+      ++stats_.shrink_branches;
+      alive = ctx_.Shrink(u);
+    }
+    if (alive && options().use_retention) {
+      alive = ctx_.PromoteSimilarityFree(&stats_.promotions);
+    }
+    if (alive) s = Visit(depth_);
+    job_->Finish(stats_, s, std::move(path_), std::move(results_));
   }
 
  private:
+  ComponentEnumerator(std::shared_ptr<EnumJob> job, int /*placeholder*/)
+      : job_(std::move(job)),
+        ctx_(job_->comp, job_->options.k,
+             /*track_excluded=*/job_->options.use_early_termination ||
+                 job_->options.use_smart_maximal_check),
+        policy_(job_->options.order, BranchOrder::kExpandFirst,
+                job_->options.lambda, job_->options.seed),
+        et_checker_(job_->comp),
+        maximal_checker_(job_->comp) {}
+
+  const EnumOptions& options() const { return job_->options; }
+
   /// One search node: prune/terminate/emit or branch (Algorithm 3).
-  Status Visit() {
-    if ((stats_->search_nodes++ & 0x3F) == 0 && options_.deadline.Expired()) {
+  Status Visit(uint32_t depth) {
+    if ((stats_.search_nodes++ & 0x3F) == 0 && options().deadline.Expired()) {
       return Status::DeadlineExceeded("enumeration budget expired");
     }
+    // Another task failed (deadline): drain quickly, its status wins.
+    if (job_->failed->load(std::memory_order_relaxed)) return Status::OK();
     KRCORE_DCHECK(!ctx_.dead());
 
     // Early termination (Theorem 5).
-    if (options_.use_early_termination && et_checker_.CanTerminate(ctx_)) {
-      ++stats_->early_terminations;
+    if (options().use_early_termination && et_checker_.CanTerminate(ctx_)) {
+      ++stats_.early_terminations;
       return Status::OK();
     }
 
     // Emission condition: with retention, C == SF(C) makes M ∪ C a
     // (k,r)-core (Theorem 4); without retention we only emit at C == ∅.
-    bool emit = options_.use_retention ? ctx_.CandidatesAllSimilarityFree()
-                                       : ctx_.c_list().empty();
+    bool emit = options().use_retention ? ctx_.CandidatesAllSimilarityFree()
+                                        : ctx_.c_list().empty();
     if (emit) {
       return Emit();
     }
 
     // Choose the branching vertex among C \ SF(C) (Thm 4) or all of C.
     BranchChoice choice =
-        policy_.Choose(ctx_, /*restrict_to_non_sf=*/options_.use_retention,
+        policy_.Choose(ctx_, /*restrict_to_non_sf=*/options().use_retention,
                        /*sum_branches=*/true);
-    if (options_.use_retention) {
-      stats_->retained_skips += ctx_.sf_count();
+    if (options().use_retention) {
+      stats_.retained_skips += ctx_.sf_count();
     }
     VertexId u = choice.vertex;
+
+    if (job_->pool != nullptr && depth < options().parallel.split_depth &&
+        job_->pool->BacklogLow()) {
+      // Fork the shrink branch onto the shared pool; continue the expand
+      // branch inline. Enumeration explores both branches regardless, so
+      // the forked task's results are the same set it would have produced
+      // sequentially — the path tag fixes the merge order and the final
+      // canonical sort makes the output schedule-independent. Skipped when
+      // the pool already has a backlog: queued forks are dead weight (each
+      // holds a full state copy).
+      Spawn(/*expand=*/false, u, depth + 1);
+      size_t mark = ctx_.Mark();
+      ++stats_.expand_branches;
+      bool alive = ctx_.Expand(u);
+      if (alive && options().use_retention) {
+        alive = ctx_.PromoteSimilarityFree(&stats_.promotions);
+      }
+      Status s = alive ? Visit(depth + 1) : Status::OK();
+      ctx_.RewindTo(mark);
+      return s;
+    }
 
     // Expand branch.
     {
       size_t mark = ctx_.Mark();
-      ++stats_->expand_branches;
+      ++stats_.expand_branches;
       bool alive = ctx_.Expand(u);
-      if (alive && options_.use_retention) {
-        alive = ctx_.PromoteSimilarityFree(&stats_->promotions);
+      if (alive && options().use_retention) {
+        alive = ctx_.PromoteSimilarityFree(&stats_.promotions);
       }
-      Status s = alive ? Visit() : Status::OK();
+      Status s = alive ? Visit(depth + 1) : Status::OK();
       ctx_.RewindTo(mark);
       if (!s.ok()) return s;
     }
@@ -89,16 +188,35 @@ class ComponentEnumerator {
     // Shrink branch.
     {
       size_t mark = ctx_.Mark();
-      ++stats_->shrink_branches;
+      ++stats_.shrink_branches;
       bool alive = ctx_.Shrink(u);
-      if (alive && options_.use_retention) {
-        alive = ctx_.PromoteSimilarityFree(&stats_->promotions);
+      if (alive && options().use_retention) {
+        alive = ctx_.PromoteSimilarityFree(&stats_.promotions);
       }
-      Status s = alive ? Visit() : Status::OK();
+      Status s = alive ? Visit(depth + 1) : Status::OK();
       ctx_.RewindTo(mark);
       if (!s.ok()) return s;
     }
     return Status::OK();
+  }
+
+  void Spawn(bool expand, VertexId u, uint32_t depth) {
+    TaskPath child_path = path_;
+    child_path.push_back(spawn_seq_++);
+    // std::function requires copyable captures; box the moveable state.
+    auto forked = std::make_shared<SearchContext>(ctx_.Fork());
+    auto boxed_path = std::make_shared<TaskPath>(std::move(child_path));
+    auto job = job_;
+    job_->pool->Submit([job, forked, boxed_path, expand, u, depth]() mutable {
+      if (job->failed->load(std::memory_order_relaxed)) {
+        job->Finish(MiningStats(), Status::OK(), std::move(*boxed_path),
+                    ResultSet());
+        return;
+      }
+      ComponentEnumerator task(job, std::move(*forked), depth,
+                               std::move(*boxed_path));
+      task.RunBranch(expand, u);
+    });
   }
 
   /// Emits the connected components of M ∪ C as candidate (k,r)-cores,
@@ -107,14 +225,14 @@ class ComponentEnumerator {
   Status Emit() {
     std::vector<VertexId> mc = ctx_.MaterializeMC();
     if (mc.empty()) return Status::OK();
-    auto components = ComponentsOfSubset(comp_.graph, mc);
+    auto components = ComponentsOfSubset(job_->comp.graph, mc);
     for (auto& local_core : components) {
-      ++stats_->emitted_candidates;
-      if (options_.use_smart_maximal_check) {
-        ++stats_->maximal_check_calls;
+      ++stats_.emitted_candidates;
+      if (options().use_smart_maximal_check) {
+        ++stats_.maximal_check_calls;
         MaximalVerdict verdict = maximal_checker_.Check(
-            ctx_, local_core, options_.maximal_check_order, options_.lambda,
-            options_.deadline, &stats_->maximal_check_nodes);
+            ctx_, local_core, options().maximal_check_order, options().lambda,
+            options().deadline, &stats_.maximal_check_nodes);
         if (verdict == MaximalVerdict::kDeadlineExceeded) {
           return Status::DeadlineExceeded("maximal check budget expired");
         }
@@ -122,18 +240,22 @@ class ComponentEnumerator {
       }
       VertexSet parent_ids;
       parent_ids.reserve(local_core.size());
-      for (VertexId v : local_core) parent_ids.push_back(comp_.to_parent[v]);
+      for (VertexId v : local_core) {
+        parent_ids.push_back(job_->comp.to_parent[v]);
+      }
       std::sort(parent_ids.begin(), parent_ids.end());
-      results_->Insert(std::move(parent_ids));
+      results_.Insert(std::move(parent_ids));
     }
     return Status::OK();
   }
 
-  const ComponentContext& comp_;
-  const EnumOptions& options_;
-  MiningStats* stats_;
-  ResultSet* results_;
+  std::shared_ptr<EnumJob> job_;
   SearchContext ctx_;
+  uint32_t depth_ = 0;
+  TaskPath path_;
+  uint32_t spawn_seq_ = 0;
+  MiningStats stats_;
+  ResultSet results_;
   SearchOrderPolicy policy_;
   EarlyTerminationChecker et_checker_;
   MaximalCheckSearcher maximal_checker_;
@@ -157,43 +279,54 @@ MaximalCoresResult EnumerateMaximalCores(const Graph& g,
   result.status = PrepareComponents(g, oracle, pipe, &components);
   if (!result.status.ok()) return result;
 
-  ResultSet results;
-  if (threads <= 1 || components.size() <= 1) {
-    for (const auto& comp : components) {
-      ++result.stats.components;
-      ComponentEnumerator enumerator(comp, options, &result.stats, &results);
-      result.status = enumerator.Run();
-      if (!result.status.ok()) break;
+  std::atomic<bool> failed{false};
+  std::vector<std::shared_ptr<EnumJob>> jobs;
+  jobs.reserve(components.size());
+  for (const auto& comp : components) {
+    jobs.push_back(std::make_shared<EnumJob>(comp, options, &failed));
+  }
+
+  if (threads <= 1) {
+    for (auto& job : jobs) {
+      ComponentEnumerator root(job);
+      root.RunRoot();
+      if (!job->status.ok()) break;
     }
   } else {
-    // Work-stealing per-component driver: components are independent search
-    // units (Sec 4.1), so each worker claims the next unsearched component.
-    // Every component gets its own stats/results slot; the merge below is
-    // deterministic because components partition the vertex set (no core can
-    // be produced by two different components) and the final TakeSorted /
-    // FilterNonMaximal make the output order canonical.
-    std::vector<MiningStats> stats(components.size());
-    std::vector<ResultSet> sets(components.size());
-    std::vector<Status> statuses(components.size());
-    std::atomic<bool> failed{false};
-    ParallelFor(threads, components.size(), [&](size_t i) {
-      if (failed.load(std::memory_order_relaxed)) return;  // drain quickly
-      ComponentEnumerator enumerator(components[i], options, &stats[i],
-                                     &sets[i]);
-      statuses[i] = enumerator.Run();
-      if (!statuses[i].ok()) failed.store(true, std::memory_order_relaxed);
-    });
-    // Merge in component order, stopping at the first failure like the
-    // sequential loop does (its partial results are kept, later components'
-    // are dropped), so a timed-out run never *grows* with the thread count.
-    for (size_t i = 0; i < components.size(); ++i) {
-      ++result.stats.components;
-      result.stats.MergeFrom(stats[i]);
-      for (auto& core : sets[i].TakeSorted()) results.Insert(std::move(core));
-      if (!statuses[i].ok()) {
-        result.status = statuses[i];
-        break;
+    // One pool for component roots and the subtree tasks they fork (Sec 4.1
+    // makes components independent; split_depth subdivides the big ones).
+    TaskPool pool(threads);
+    for (auto& job : jobs) {
+      job->pool = &pool;
+      pool.Submit([job, &failed] {
+        if (failed.load(std::memory_order_relaxed)) return;
+        ComponentEnumerator root(job);
+        root.RunRoot();
+      });
+    }
+    pool.Wait();
+    result.stats.tasks_spawned = pool.tasks_spawned();
+    result.stats.task_steals = pool.tasks_stolen();
+  }
+
+  // Merge in component order — and inside a component in task-path order —
+  // stopping at the first failing component like a sequential run does (its
+  // partial results are kept, later components' are dropped). A timed-out
+  // run's partial set is schedule-dependent (see EnumOptions::parallel).
+  ResultSet results;
+  for (auto& job : jobs) {
+    ++result.stats.components;
+    result.stats.MergeFrom(job->stats);
+    std::sort(job->parts.begin(), job->parts.end(),
+              [](const auto& a, const auto& b) { return a.first < b.first; });
+    for (auto& part : job->parts) {
+      for (auto& core : part.second.TakeSorted()) {
+        results.Insert(std::move(core));
       }
+    }
+    if (!job->status.ok()) {
+      result.status = job->status;
+      break;
     }
   }
 

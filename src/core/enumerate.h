@@ -50,10 +50,13 @@ struct EnumOptions {
   /// Shared preprocessing knobs (blocked pair builder, optional budget).
   PreprocessOptions preprocess;
 
-  /// Per-component parallel search (Sec 4.1: components are independent).
-  /// Completed runs return an identical result set for every thread count;
-  /// deadline-expired runs return a partial set that never grows with the
-  /// thread count but may differ from the sequential partial set.
+  /// Parallel search: component roots plus intra-component subtree tasks
+  /// (forked down to parallel.split_depth) on one shared work-stealing
+  /// pool. Completed runs return an identical result set for every thread
+  /// count and split depth. Deadline-expired runs return a partial,
+  /// schedule-dependent set: concurrent tasks each emit until their own
+  /// deadline check fires, so the partial set can differ from — and with
+  /// subtree splitting even exceed — the sequential partial set.
   ParallelOptions parallel;
 };
 

@@ -1,0 +1,73 @@
+#include "core/greedy_seed.h"
+
+#include <algorithm>
+#include <queue>
+#include <vector>
+
+#include "core/search_context.h"
+#include "graph/connectivity.h"
+
+namespace krcore {
+namespace {
+
+/// Lazy-heap entry: dp is the DP(u, C) value at push time and may be stale.
+struct PeelEntry {
+  uint32_t dp;
+  VertexId u;
+  /// Max-heap on dp; ties prefer the smallest vertex id (deterministic).
+  bool operator<(const PeelEntry& other) const {
+    if (dp != other.dp) return dp < other.dp;
+    return u > other.u;
+  }
+};
+
+}  // namespace
+
+VertexSet GreedySeedCore(const ComponentContext& comp, uint32_t k,
+                         const Deadline& deadline) {
+  SearchContext ctx(comp, k, /*track_excluded=*/false);
+
+  // M stays empty throughout, so Shrink's cascades can only discard
+  // candidates — the context never dies, the peel just runs dry.
+  std::priority_queue<PeelEntry> heap;
+  for (VertexId u = ctx.c_list().First(); u != kInvalidVertex;
+       u = ctx.c_list().Next(u)) {
+    if (ctx.dp_c(u) > 0) heap.push({ctx.dp_c(u), u});
+  }
+  uint64_t discards = 0;
+  while (ctx.dissimilar_pairs_c() > 0 && !heap.empty()) {
+    PeelEntry top = heap.top();
+    heap.pop();
+    if (ctx.state(top.u) != VertexState::kInC) continue;
+    uint32_t dp = ctx.dp_c(top.u);
+    if (dp == 0) continue;
+    if (dp != top.dp) {
+      // Stale: dp only decreases, so re-queue at the current value
+      // (lazy decrease-key) instead of discarding a still-live vertex.
+      heap.push({dp, top.u});
+      continue;
+    }
+    // The seed is optional: abandon it rather than blow the caller's
+    // wall-clock budget on a huge component.
+    if ((discards++ & 0x3F) == 0 && deadline.Expired()) return {};
+    if (!ctx.Shrink(top.u)) break;  // unreachable with empty M; be safe
+  }
+  if (ctx.dissimilar_pairs_c() > 0 || ctx.c_list().empty()) return {};
+
+  // Survivors are pairwise similar with deg >= k inside the survivor set;
+  // every connected piece is a valid (k,r)-core. Keep the largest (ties:
+  // ComponentsOfSubset order is deterministic, first wins).
+  auto pieces = ComponentsOfSubset(comp.graph, ctx.MaterializeMC());
+  const std::vector<VertexId>* largest = nullptr;
+  for (const auto& piece : pieces) {
+    if (largest == nullptr || piece.size() > largest->size()) largest = &piece;
+  }
+  if (largest == nullptr) return {};
+  VertexSet parent_ids;
+  parent_ids.reserve(largest->size());
+  for (VertexId v : *largest) parent_ids.push_back(comp.to_parent[v]);
+  std::sort(parent_ids.begin(), parent_ids.end());
+  return parent_ids;
+}
+
+}  // namespace krcore

@@ -1,0 +1,31 @@
+#ifndef KRCORE_CORE_GREEDY_SEED_H_
+#define KRCORE_CORE_GREEDY_SEED_H_
+
+#include <cstdint>
+
+#include "core/krcore_types.h"
+#include "core/pipeline.h"
+#include "util/timer.h"
+
+namespace krcore {
+
+/// Greedily peels `comp` down to a valid (k,r)-core: repeatedly discards the
+/// candidate with the most dissimilar surviving candidates (lazy max-heap,
+/// re-running the Theorem 2 degree cascade after each discard) until the
+/// survivors are pairwise similar, then returns the largest connected
+/// survivor component mapped to *parent* vertex ids (sorted ascending).
+///
+/// Returns an empty set when the peel exhausts the component — or when
+/// `deadline` expires mid-peel (polled every 64 discards; the seed is an
+/// optional accelerator, so giving up keeps FindMaximumCore inside its
+/// budget). The result is always a genuine (k,r)-core — connected,
+/// min-degree >= k, all pairs similar — so FindMaximumCore can install it
+/// as the incumbent before the branch-and-bound starts and bound pruning
+/// bites from the first node. Deterministic: ties pick the smallest vertex
+/// id.
+VertexSet GreedySeedCore(const ComponentContext& comp, uint32_t k,
+                         const Deadline& deadline = Deadline());
+
+}  // namespace krcore
+
+#endif  // KRCORE_CORE_GREEDY_SEED_H_

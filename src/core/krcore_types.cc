@@ -58,11 +58,17 @@ void MiningStats::MergeFrom(const MiningStats& other) {
   maximal_found += other.maximal_found;
   early_terminations += other.early_terminations;
   bound_prunes += other.bound_prunes;
+  bound_naive_prunes += other.bound_naive_prunes;
+  bound_cache_hits += other.bound_cache_hits;
+  bound_expensive_prunes += other.bound_expensive_prunes;
+  bound_recomputes += other.bound_recomputes;
   promotions += other.promotions;
   retained_skips += other.retained_skips;
   maximal_check_calls += other.maximal_check_calls;
   maximal_check_nodes += other.maximal_check_nodes;
   components += other.components;
+  tasks_spawned += other.tasks_spawned;
+  task_steals += other.task_steals;
   seconds += other.seconds;
 }
 
@@ -71,9 +77,13 @@ std::string MiningStats::ToString() const {
   os << "nodes=" << search_nodes << " expand=" << expand_branches
      << " shrink=" << shrink_branches << " emitted=" << emitted_candidates
      << " maximal=" << maximal_found << " et=" << early_terminations
-     << " bound_prunes=" << bound_prunes << " promotions=" << promotions
-     << " mc_calls=" << maximal_check_calls << " comps=" << components
-     << " sec=" << seconds;
+     << " bound_prunes=" << bound_prunes
+     << " (naive=" << bound_naive_prunes << " cache=" << bound_cache_hits
+     << " expensive=" << bound_expensive_prunes
+     << " recomputes=" << bound_recomputes << ")"
+     << " promotions=" << promotions << " mc_calls=" << maximal_check_calls
+     << " comps=" << components << " tasks=" << tasks_spawned
+     << " steals=" << task_steals << " sec=" << seconds;
   return os.str();
 }
 

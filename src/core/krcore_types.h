@@ -53,12 +53,25 @@ struct MiningStats {
   uint64_t emitted_candidates = 0; // (k,r)-cores reached (pre maximal check)
   uint64_t maximal_found = 0;      // cores surviving the maximal check
   uint64_t early_terminations = 0; // Theorem 5 hits
-  uint64_t bound_prunes = 0;       // upper-bound cutoffs (maximum search)
+  uint64_t bound_prunes = 0;       // upper-bound cutoffs, all tiers summed
+  // Tiered-bound breakdown of bound_prunes (maximum search): the free
+  // |M|+|C| check, the cached expensive value reused without recomputation,
+  // and a freshly recomputed expensive bound.
+  uint64_t bound_naive_prunes = 0;
+  uint64_t bound_cache_hits = 0;
+  uint64_t bound_expensive_prunes = 0;
+  // Expensive-tier evaluations actually run (vs. served from the cache).
+  uint64_t bound_recomputes = 0;
   uint64_t promotions = 0;         // Remark 1 direct moves C -> M
   uint64_t retained_skips = 0;     // SF(C) vertices never branched on
   uint64_t maximal_check_calls = 0;
   uint64_t maximal_check_nodes = 0;
   uint64_t components = 0;         // components searched after preprocessing
+  // Task-pool accounting (filled once per run by the parallel drivers):
+  // tasks submitted to the shared pool (component roots + forked subtrees)
+  // and how many of them ran on a worker other than their submitter's.
+  uint64_t tasks_spawned = 0;
+  uint64_t task_steals = 0;
   double seconds = 0.0;
 
   void MergeFrom(const MiningStats& other);

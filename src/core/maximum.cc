@@ -2,9 +2,13 @@
 
 #include <algorithm>
 #include <atomic>
+#include <memory>
 #include <mutex>
+#include <utility>
+#include <vector>
 
 #include "core/early_termination.h"
+#include "core/greedy_seed.h"
 #include "core/parallel.h"
 #include "core/pipeline.h"
 #include "core/search_context.h"
@@ -16,7 +20,7 @@
 namespace krcore {
 namespace {
 
-/// The incumbent best core, shared by every component searcher. The size is
+/// The incumbent best core, shared by every search task. The size is
 /// readable lock-free (it is the bound-pruning hot path, polled at every
 /// search node); the vertex set itself is guarded by a mutex and only
 /// touched on the rare strictly-better / tie-breaking emissions.
@@ -49,106 +53,255 @@ class SharedBest {
   std::atomic<uint64_t> size_{0};
 };
 
-/// Per-component branch-and-bound for the maximum (k,r)-core (Algorithm 5).
+/// Cached expensive-tier bound, inherited *down* the recursion by value: a
+/// value computed at a node stays a valid upper bound for every descendant
+/// (M ∪ C only shrinks along a root-to-leaf chain), and because each child
+/// receives its own copy, backtracking restores the ancestor's cache for the
+/// sibling automatically — a sibling subtree must never see a bound computed
+/// inside the other branch.
+struct BoundCache {
+  uint64_t value = UINT64_MAX;  // nothing computed yet
+  uint32_t nodes_since = 0;     // nodes on this chain since the last compute
+};
+
+/// Shared per-component search state. Every task of the component — the root
+/// and all forked subtrees — holds the same job; tasks merge their local
+/// stats and first error under the job mutex when they finish.
+struct MaxJob {
+  MaxJob(const ComponentContext& c, const MaxOptions& o, SharedBest* b,
+         std::atomic<bool>* f)
+      : comp(c), options(o), best(b), failed(f) {}
+
+  const ComponentContext& comp;
+  const MaxOptions& options;
+  SharedBest* best;
+  std::atomic<bool>* failed;  // any task of any component errored: drain
+  TaskPool* pool = nullptr;   // null = sequential (no subtree forking)
+
+  std::mutex mu;
+  MiningStats stats;
+  Status status;  // first non-OK of any task
+
+  void Finish(const MiningStats& task_stats, const Status& task_status) {
+    if (!task_status.ok()) failed->store(true, std::memory_order_relaxed);
+    std::lock_guard<std::mutex> lock(mu);
+    stats.MergeFrom(task_stats);
+    if (status.ok() && !task_status.ok()) status = task_status;
+  }
+};
+
+/// One task of the per-component branch-and-bound for the maximum (k,r)-core
+/// (Algorithm 5): either the component root or a forked subtree. Owns its
+/// SearchContext and all per-task scratch (policy Rng, bound computer, early
+/// termination checker), so tasks share nothing mutable but SharedBest and
+/// the job accumulators.
 class ComponentMaximizer {
  public:
-  ComponentMaximizer(const ComponentContext& comp, const MaxOptions& options,
-                     MiningStats* stats, SharedBest* best)
-      : comp_(comp),
-        options_(options),
-        stats_(stats),
-        best_(best),
-        ctx_(comp, options.k,
-             /*track_excluded=*/options.use_early_termination),
-        policy_(options.order, options.branch_order, options.lambda,
-                options.seed),
-        et_checker_(comp),
-        bound_computer_(comp) {}
+  /// Root task: fresh context over the whole component.
+  explicit ComponentMaximizer(std::shared_ptr<MaxJob> job)
+      : ComponentMaximizer(
+            std::move(job),
+            // Delegation needs the job pointer before the member init; read
+            // it from the argument of the delegated-to constructor instead.
+            /*placeholder=*/0) {}
 
-  Status Run() {
-    if (options_.use_retention) {
-      if (!ctx_.PromoteSimilarityFree(&stats_->promotions)) return Status::OK();
+  /// Subtree task: adopts a forked context at `depth` with the ancestor's
+  /// bound cache; Run(expand, u) applies the pending branch op first.
+  ComponentMaximizer(std::shared_ptr<MaxJob> job, SearchContext&& ctx,
+                     uint32_t depth, BoundCache cache)
+      : job_(std::move(job)),
+        ctx_(std::move(ctx)),
+        depth_(depth),
+        cache_(cache),
+        policy_(job_->options.order, job_->options.branch_order,
+                job_->options.lambda, job_->options.seed),
+        et_checker_(job_->comp),
+        bound_computer_(job_->comp) {}
+
+  /// Runs the root task: retention fixpoint then the full tree.
+  void RunRoot() {
+    Status s = Status::OK();
+    bool alive = true;
+    if (options().use_retention) {
+      alive = ctx_.PromoteSimilarityFree(&stats_.promotions);
     }
-    return Visit();
+    if (alive) s = Visit(depth_, cache_);
+    job_->Finish(stats_, s);
+  }
+
+  /// Runs a forked subtree task: applies the branch op the parent deferred,
+  /// then explores the subtree.
+  void RunBranch(bool expand, VertexId u) {
+    Status s = Status::OK();
+    bool alive;
+    if (expand) {
+      ++stats_.expand_branches;
+      alive = ctx_.Expand(u);
+    } else {
+      ++stats_.shrink_branches;
+      alive = ctx_.Shrink(u);
+    }
+    if (alive && options().use_retention) {
+      alive = ctx_.PromoteSimilarityFree(&stats_.promotions);
+    }
+    if (alive) s = Visit(depth_, cache_);
+    job_->Finish(stats_, s);
   }
 
  private:
-  Status Visit() {
-    if ((stats_->search_nodes++ & 0x3F) == 0 && options_.deadline.Expired()) {
+  ComponentMaximizer(std::shared_ptr<MaxJob> job, int /*placeholder*/)
+      : job_(std::move(job)),
+        ctx_(job_->comp, job_->options.k,
+             /*track_excluded=*/job_->options.use_early_termination),
+        policy_(job_->options.order, job_->options.branch_order,
+                job_->options.lambda, job_->options.seed),
+        et_checker_(job_->comp),
+        bound_computer_(job_->comp) {}
+
+  const MaxOptions& options() const { return job_->options; }
+
+  /// One search node. `cache` travels by value so each branch inherits the
+  /// tightest ancestor bound and backtracking needs no undo.
+  Status Visit(uint32_t depth, BoundCache cache) {
+    if ((stats_.search_nodes++ & 0x3F) == 0 && options().deadline.Expired()) {
       return Status::DeadlineExceeded("maximum search budget expired");
     }
+    // Another task failed (deadline): drain quickly, its status wins.
+    if (job_->failed->load(std::memory_order_relaxed)) return Status::OK();
     KRCORE_DCHECK(!ctx_.dead());
 
     // Early termination (Theorem 5): any core from this subtree extends to a
     // strictly larger one elsewhere; it cannot be the (unique-size) maximum.
-    if (options_.use_early_termination && et_checker_.CanTerminate(ctx_)) {
-      ++stats_->early_terminations;
+    if (options().use_early_termination && et_checker_.CanTerminate(ctx_)) {
+      ++stats_.early_terminations;
       return Status::OK();
     }
 
-    // Upper-bound cutoff (Algorithm 5 line 2): prune unless the bound says
-    // this subtree could beat the incumbent — which other threads may have
-    // grown since the last node.
-    uint64_t bound = bound_computer_.Compute(ctx_, options_.bound);
-    if (bound <= best_->Size()) {
-      ++stats_->bound_prunes;
+    // Upper-bound cutoff (Algorithm 5 line 2), tiered: the free |M|+|C|
+    // check runs first, then the cached expensive value, and only when
+    // neither settles the node is the expensive tier recomputed — and only
+    // if M ∪ C shrank below the cached bound or the refresh interval hit.
+    const uint64_t incumbent = job_->best->Size();
+    const uint64_t naive = bound_computer_.Naive(ctx_);
+    if (naive <= incumbent) {
+      ++stats_.bound_naive_prunes;
+      ++stats_.bound_prunes;
       return Status::OK();
+    }
+    if (options().bound != SizeBoundKind::kNaive) {
+      if (cache.value <= incumbent) {
+        ++stats_.bound_cache_hits;
+        ++stats_.bound_prunes;
+        return Status::OK();
+      }
+      ++cache.nodes_since;
+      if (naive < cache.value || cache.nodes_since >= options().bound_refresh) {
+        cache.value = bound_computer_.Compute(ctx_, options().bound);
+        cache.nodes_since = 0;
+        ++stats_.bound_recomputes;
+        if (cache.value <= incumbent) {
+          ++stats_.bound_expensive_prunes;
+          ++stats_.bound_prunes;
+          return Status::OK();
+        }
+      }
     }
 
     // Emission (Theorem 4).
-    bool emit = options_.use_retention ? ctx_.CandidatesAllSimilarityFree()
-                                       : ctx_.c_list().empty();
+    bool emit = options().use_retention ? ctx_.CandidatesAllSimilarityFree()
+                                        : ctx_.c_list().empty();
     if (emit) {
       Emit();
       return Status::OK();
     }
 
     BranchChoice choice =
-        policy_.Choose(ctx_, /*restrict_to_non_sf=*/options_.use_retention,
+        policy_.Choose(ctx_, /*restrict_to_non_sf=*/options().use_retention,
                        /*sum_branches=*/false);
     VertexId u = choice.vertex;
+
+    if (job_->pool != nullptr && depth < options().parallel.split_depth &&
+        job_->pool->BacklogLow()) {
+      // Fork the second-visited branch onto the shared pool and continue the
+      // first-visited branch inline — the incumbent stays live across tasks
+      // through SharedBest, so cross-task pruning matches the sequential
+      // schedule's intent. Skipped when the pool already has a backlog:
+      // queued forks are dead weight (each holds a full state copy).
+      Spawn(/*expand=*/!choice.expand_first, u, depth + 1, cache);
+      size_t mark = ctx_.Mark();
+      bool alive;
+      if (choice.expand_first) {
+        ++stats_.expand_branches;
+        alive = ctx_.Expand(u);
+      } else {
+        ++stats_.shrink_branches;
+        alive = ctx_.Shrink(u);
+      }
+      if (alive && options().use_retention) {
+        alive = ctx_.PromoteSimilarityFree(&stats_.promotions);
+      }
+      Status s = alive ? Visit(depth + 1, cache) : Status::OK();
+      ctx_.RewindTo(mark);
+      return s;
+    }
 
     for (int round = 0; round < 2; ++round) {
       bool expanding = (round == 0) == choice.expand_first;
       size_t mark = ctx_.Mark();
       bool alive;
       if (expanding) {
-        ++stats_->expand_branches;
+        ++stats_.expand_branches;
         alive = ctx_.Expand(u);
       } else {
-        ++stats_->shrink_branches;
+        ++stats_.shrink_branches;
         alive = ctx_.Shrink(u);
       }
-      if (alive && options_.use_retention) {
-        alive = ctx_.PromoteSimilarityFree(&stats_->promotions);
+      if (alive && options().use_retention) {
+        alive = ctx_.PromoteSimilarityFree(&stats_.promotions);
       }
-      Status s = alive ? Visit() : Status::OK();
+      Status s = alive ? Visit(depth + 1, cache) : Status::OK();
       ctx_.RewindTo(mark);
       if (!s.ok()) return s;
     }
     return Status::OK();
   }
 
+  void Spawn(bool expand, VertexId u, uint32_t depth, BoundCache cache) {
+    // std::function requires copyable captures; box the forked context.
+    auto forked = std::make_shared<SearchContext>(ctx_.Fork());
+    auto job = job_;
+    job_->pool->Submit([job, forked, expand, u, depth, cache]() mutable {
+      if (job->failed->load(std::memory_order_relaxed)) {
+        job->Finish(MiningStats(), Status::OK());
+        return;
+      }
+      ComponentMaximizer task(job, std::move(*forked), depth, cache);
+      task.RunBranch(expand, u);
+    });
+  }
+
   void Emit() {
     std::vector<VertexId> mc = ctx_.MaterializeMC();
     if (mc.empty()) return;
-    auto components = ComponentsOfSubset(comp_.graph, mc);
+    auto components = ComponentsOfSubset(job_->comp.graph, mc);
     for (const auto& local_core : components) {
-      ++stats_->emitted_candidates;
-      if (local_core.size() < best_->Size()) continue;
+      ++stats_.emitted_candidates;
+      if (local_core.size() < job_->best->Size()) continue;
       VertexSet parent_ids;
       parent_ids.reserve(local_core.size());
-      for (VertexId v : local_core) parent_ids.push_back(comp_.to_parent[v]);
+      for (VertexId v : local_core) {
+        parent_ids.push_back(job_->comp.to_parent[v]);
+      }
       std::sort(parent_ids.begin(), parent_ids.end());
-      best_->Offer(std::move(parent_ids));
+      job_->best->Offer(std::move(parent_ids));
     }
   }
 
-  const ComponentContext& comp_;
-  const MaxOptions& options_;
-  MiningStats* stats_;
-  SharedBest* best_;
+  std::shared_ptr<MaxJob> job_;
   SearchContext ctx_;
+  uint32_t depth_ = 0;
+  BoundCache cache_;
+  MiningStats stats_;
   SearchOrderPolicy policy_;
   EarlyTerminationChecker et_checker_;
   SizeBoundComputer bound_computer_;
@@ -161,6 +314,7 @@ MaximumCoreResult FindMaximumCore(const Graph& g,
                                   const MaxOptions& options) {
   MaximumCoreResult result;
   Timer timer;
+  KRCORE_CHECK(options.bound_refresh > 0) << "bound_refresh must be positive";
 
   const uint32_t threads = options.parallel.Resolve();
   PipelineOptions pipe;
@@ -168,46 +322,71 @@ MaximumCoreResult FindMaximumCore(const Graph& g,
   pipe.preprocess = options.preprocess;
   pipe.preprocess.num_threads = threads;
   pipe.deadline = options.deadline;
-  pipe.order_by_max_degree = true;  // seed the incumbent from the densest part
+  pipe.order_by_max_degree = true;  // search the densest part first
   std::vector<ComponentContext> components;
   result.status = PrepareComponents(g, oracle, pipe, &components);
   if (!result.status.ok()) return result;
 
   SharedBest best;
-  if (threads <= 1 || components.size() <= 1) {
-    for (const auto& comp : components) {
-      ++result.stats.components;
+  if (options.use_seed_incumbent && !components.empty()) {
+    // Seed the incumbent from the densest component (most structure edges)
+    // so every task prunes against a real core from its very first node.
+    size_t densest = 0;
+    for (size_t i = 1; i < components.size(); ++i) {
+      if (components[i].graph.num_edges() >
+          components[densest].graph.num_edges()) {
+        densest = i;
+      }
+    }
+    VertexSet seed =
+        GreedySeedCore(components[densest], options.k, options.deadline);
+    if (!seed.empty()) best.Offer(std::move(seed));
+  }
+
+  std::atomic<bool> failed{false};
+  std::vector<std::shared_ptr<MaxJob>> jobs;
+  jobs.reserve(components.size());
+  for (const auto& comp : components) {
+    jobs.push_back(std::make_shared<MaxJob>(comp, options, &best, &failed));
+  }
+
+  if (threads <= 1) {
+    for (auto& job : jobs) {
       // A whole component can be skipped when even its total size cannot
       // beat the incumbent.
-      if (comp.size() <= best.Size()) continue;
-      ComponentMaximizer maximizer(comp, options, &result.stats, &best);
-      result.status = maximizer.Run();
-      if (!result.status.ok()) break;
+      if (job->comp.size() <= best.Size()) continue;
+      ComponentMaximizer root(job);
+      root.RunRoot();
+      if (!job->status.ok()) break;
     }
   } else {
-    // Work-stealing per-component driver. The atomic incumbent size means a
-    // big core found early in one component prunes every other component's
-    // search immediately, just like the sequential ordering intends.
-    std::vector<MiningStats> stats(components.size());
-    std::vector<Status> statuses(components.size());
-    std::atomic<bool> failed{false};
-    ParallelFor(threads, components.size(), [&](size_t i) {
-      if (failed.load(std::memory_order_relaxed)) return;  // drain quickly
-      if (components[i].size() <= best.Size()) return;
-      ComponentMaximizer maximizer(components[i], options, &stats[i], &best);
-      statuses[i] = maximizer.Run();
-      if (!statuses[i].ok()) failed.store(true, std::memory_order_relaxed);
-    });
-    // Merge stats in component order and stop at the first failure, so a
-    // timed-out run reports the same shape of counters as the sequential
-    // loop (which breaks there). The shared best itself is unaffected.
-    for (size_t i = 0; i < components.size(); ++i) {
-      ++result.stats.components;
-      result.stats.MergeFrom(stats[i]);
-      if (!statuses[i].ok()) {
-        result.status = statuses[i];
-        break;
-      }
+    // One pool for everything: component roots and the subtrees they fork
+    // compete for the same workers, so the skewed one-giant-component case
+    // still saturates every core.
+    TaskPool pool(threads);
+    for (auto& job : jobs) {
+      job->pool = &pool;
+      pool.Submit([job, &best, &failed] {
+        if (failed.load(std::memory_order_relaxed)) return;
+        if (job->comp.size() <= best.Size()) return;
+        ComponentMaximizer root(job);
+        root.RunRoot();
+      });
+    }
+    pool.Wait();
+    result.stats.tasks_spawned = pool.tasks_spawned();
+    result.stats.task_steals = pool.tasks_stolen();
+  }
+
+  // Merge stats in component order and stop at the first failure, so a
+  // timed-out run reports the same shape of counters as a sequential run
+  // (which stops searching there). The shared best itself is unaffected.
+  for (auto& job : jobs) {
+    ++result.stats.components;
+    result.stats.MergeFrom(job->stats);
+    if (!job->status.ok()) {
+      result.status = job->status;
+      break;
     }
   }
   result.best = best.Take();

@@ -26,6 +26,19 @@ struct MaxOptions {
   bool use_retention = true;
   bool use_early_termination = true;
 
+  /// Tiered lazy bound evaluation: the free |M|+|C| check runs at every
+  /// node; the expensive tier (`bound` when not kNaive) is recomputed only
+  /// when |M ∪ C| has shrunk below the cached expensive value or after
+  /// `bound_refresh` nodes on the current root-to-node chain, and the cached
+  /// value — a still-valid upper bound, since M ∪ C only shrinks down the
+  /// tree — prunes in between. 1 restores recompute-every-node. Must be > 0.
+  uint32_t bound_refresh = 64;
+
+  /// Seed the shared incumbent with a greedily peeled (k,r)-core of the
+  /// densest component before the search (see greedy_seed.h), so bound
+  /// pruning bites from the first node instead of after the first emission.
+  bool use_seed_incumbent = true;
+
   VertexOrder order = VertexOrder::kLambdaCombo;
   BranchOrder branch_order = BranchOrder::kAdaptive;
   double lambda = 5.0;
@@ -36,11 +49,13 @@ struct MaxOptions {
   /// Shared preprocessing knobs (blocked pair builder, optional budget).
   PreprocessOptions preprocess;
 
-  /// Per-component parallel search. Workers share the incumbent best size
-  /// through an atomic, so a large core found in one component immediately
-  /// tightens the bound pruning in every other. The maximum *size* is
-  /// deterministic for any thread count; among equal-sized maxima the
-  /// lexicographically smallest reachable one is preferred.
+  /// Parallel search: component roots plus intra-component subtree tasks
+  /// (forked down to parallel.split_depth) on one shared work-stealing
+  /// pool. All tasks share the incumbent best size through an atomic, so a
+  /// large core found anywhere immediately tightens the bound pruning
+  /// everywhere. The maximum *size* is deterministic for any thread count
+  /// and split depth; among equal-sized maxima the lexicographically
+  /// smallest reachable one is preferred.
   ParallelOptions parallel;
 };
 

@@ -2,15 +2,118 @@
 
 #include <algorithm>
 #include <atomic>
-#include <thread>
-#include <vector>
+#include <utility>
+
+#include "util/logging.h"
 
 namespace krcore {
+
+namespace {
+// Identifies the pool (and worker slot) the current thread belongs to, so
+// Submit from inside a task lands on the submitting worker's own deque.
+thread_local TaskPool* tls_pool = nullptr;
+thread_local uint32_t tls_worker = 0;
+}  // namespace
 
 uint32_t ParallelOptions::Resolve() const {
   if (num_threads != 0) return num_threads;
   uint32_t hw = std::thread::hardware_concurrency();
   return hw == 0 ? 1 : hw;
+}
+
+TaskPool::TaskPool(uint32_t num_threads)
+    : queues_(std::max(1u, num_threads)) {
+  workers_.reserve(queues_.size());
+  for (uint32_t i = 0; i < queues_.size(); ++i) {
+    workers_.emplace_back([this, i] { WorkerLoop(i); });
+  }
+}
+
+TaskPool::~TaskPool() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    KRCORE_DCHECK(pending_ == 0);
+    stop_ = true;
+  }
+  work_cv_.notify_all();
+  for (auto& w : workers_) w.join();
+}
+
+void TaskPool::Submit(Task task) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    uint32_t slot;
+    if (tls_pool == this) {
+      slot = tls_worker;
+      queues_[slot].push_front(std::move(task));
+    } else {
+      slot = static_cast<uint32_t>(next_queue_++ % queues_.size());
+      queues_[slot].push_back(std::move(task));
+    }
+    ++pending_;
+    ++submitted_;
+  }
+  work_cv_.notify_one();
+}
+
+bool TaskPool::PopTask(uint32_t index, Task* task) {
+  if (!queues_[index].empty()) {
+    *task = std::move(queues_[index].front());
+    queues_[index].pop_front();
+    return true;
+  }
+  for (size_t off = 1; off < queues_.size(); ++off) {
+    auto& victim = queues_[(index + off) % queues_.size()];
+    if (!victim.empty()) {
+      *task = std::move(victim.back());
+      victim.pop_back();
+      ++stolen_;
+      return true;
+    }
+  }
+  return false;
+}
+
+void TaskPool::WorkerLoop(uint32_t index) {
+  tls_pool = this;
+  tls_worker = index;
+  std::unique_lock<std::mutex> lock(mu_);
+  for (;;) {
+    Task task;
+    if (PopTask(index, &task)) {
+      lock.unlock();
+      task();
+      task = nullptr;  // release captures before re-locking
+      lock.lock();
+      if (--pending_ == 0) done_cv_.notify_all();
+      continue;
+    }
+    if (stop_) break;
+    work_cv_.wait(lock);
+  }
+  tls_pool = nullptr;
+}
+
+void TaskPool::Wait() {
+  std::unique_lock<std::mutex> lock(mu_);
+  done_cv_.wait(lock, [this] { return pending_ == 0; });
+}
+
+uint64_t TaskPool::tasks_spawned() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return submitted_;
+}
+
+uint64_t TaskPool::tasks_stolen() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return stolen_;
+}
+
+bool TaskPool::BacklogLow() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  size_t queued = 0;
+  for (const auto& q : queues_) queued += q.size();
+  return queued < 2 * queues_.size();
 }
 
 void ParallelFor(uint32_t num_threads, size_t count,

@@ -92,6 +92,15 @@ SearchContext::SearchContext(const ComponentContext& comp, uint32_t k,
   for (VertexId u = 0; u < n; ++u) KRCORE_DCHECK(deg_mc_[u] >= k_);
 }
 
+SearchContext SearchContext::Fork() const {
+  KRCORE_DCHECK(!dead_);
+  SearchContext copy(*this);
+  copy.trail_.clear();
+  copy.peel_queue_.clear();
+  copy.bfs_stack_.clear();
+  return copy;
+}
+
 // ---- low-level journaled mutators ----------------------------------------
 
 void SearchContext::ApplyState(VertexId u, VertexState s) {

@@ -58,6 +58,17 @@ class SearchContext {
   /// early termination and the smart maximal check; BasicEnum turns it off).
   SearchContext(const ComponentContext& comp, uint32_t k, bool track_excluded);
 
+  SearchContext(SearchContext&&) = default;
+  SearchContext& operator=(SearchContext&&) = default;
+
+  /// Deep copy of the current live state with an *empty* trail: the copy
+  /// behaves exactly like the original under any op sequence, but its
+  /// Mark()/RewindTo() horizon starts at the fork point. This is what the
+  /// parallel drivers hand to a forked subtree task — the task explores its
+  /// branch on the copy while the original backtracks independently.
+  /// Must not be called on a dead context.
+  SearchContext Fork() const;
+
   const ComponentContext& component() const { return *comp_; }
   uint32_t k() const { return k_; }
 
@@ -125,6 +136,11 @@ class SearchContext {
 
  private:
   friend class SearchContextTestPeer;
+
+  // Fork() is the only copy entry point: it resets the trail and scratch,
+  // which a raw member-wise copy would silently share semantics with.
+  SearchContext(const SearchContext&) = default;
+  SearchContext& operator=(const SearchContext&) = delete;
 
   enum class Op : uint8_t {
     kState,     // payload: old state

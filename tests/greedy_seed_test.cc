@@ -1,0 +1,94 @@
+#include "core/greedy_seed.h"
+
+#include <gtest/gtest.h>
+
+#include "core/maximum.h"
+#include "core/pipeline.h"
+#include "core/verify.h"
+#include "test_helpers.h"
+
+namespace krcore {
+namespace {
+
+TEST(GreedySeed, SeedIsAValidCore) {
+  for (uint64_t seed : {1ull, 5ull, 9ull, 13ull}) {
+    auto dataset = test::MakeRandomGeo(80, 340, seed);
+    SimilarityOracle oracle(&dataset.attributes, dataset.metric, 0.45);
+    PipelineOptions opts;
+    opts.k = 2;
+    std::vector<ComponentContext> comps;
+    ASSERT_TRUE(PrepareComponents(dataset.graph, oracle, opts, &comps).ok());
+    for (const auto& comp : comps) {
+      VertexSet core = GreedySeedCore(comp, 2);
+      if (core.empty()) continue;
+      std::string why;
+      EXPECT_TRUE(IsKrCore(dataset.graph, oracle, 2, core, &why))
+          << "seed=" << seed << ": " << why;
+    }
+  }
+}
+
+TEST(GreedySeed, AllSimilarComponentSurvivesWhole) {
+  // K4 with everyone similar: nothing to peel, the seed is the component.
+  auto fixture = test::MakeGrouped(
+      4, {{0, 1}, {0, 2}, {0, 3}, {1, 2}, {1, 3}, {2, 3}}, {0, 0, 0, 0});
+  auto oracle = fixture.MakeOracle();
+  PipelineOptions opts;
+  opts.k = 2;
+  std::vector<ComponentContext> comps;
+  ASSERT_TRUE(PrepareComponents(fixture.graph, oracle, opts, &comps).ok());
+  ASSERT_EQ(comps.size(), 1u);
+  VertexSet core = GreedySeedCore(comps[0], 2);
+  EXPECT_EQ(core, (VertexSet{0, 1, 2, 3}));
+}
+
+TEST(GreedySeed, SeedNeverExceedsTrueMaximum) {
+  // The seed is a lower bound the incumbent starts from; it must never beat
+  // the exact search's answer.
+  for (uint64_t seed : {2ull, 4ull, 6ull}) {
+    auto dataset = test::MakeRandomGeo(60, 260, seed);
+    SimilarityOracle oracle(&dataset.attributes, dataset.metric, 0.45);
+    MaxOptions mopts = AdvMaxOptions(2);
+    auto exact = FindMaximumCore(dataset.graph, oracle, mopts);
+    ASSERT_TRUE(exact.status.ok());
+
+    PipelineOptions opts;
+    opts.k = 2;
+    std::vector<ComponentContext> comps;
+    ASSERT_TRUE(PrepareComponents(dataset.graph, oracle, opts, &comps).ok());
+    for (const auto& comp : comps) {
+      VertexSet core = GreedySeedCore(comp, 2);
+      EXPECT_LE(core.size(), exact.best.size()) << "seed=" << seed;
+    }
+  }
+}
+
+TEST(GreedySeed, ExpiredDeadlineAbandonsTheSeed) {
+  // The seed is optional: with no budget left it must give up immediately
+  // (FindMaximumCore then starts unseeded) instead of peeling on.
+  auto dataset = test::MakeRandomGeo(80, 340, 1);
+  SimilarityOracle oracle(&dataset.attributes, dataset.metric, 0.45);
+  PipelineOptions opts;
+  opts.k = 2;
+  std::vector<ComponentContext> comps;
+  ASSERT_TRUE(PrepareComponents(dataset.graph, oracle, opts, &comps).ok());
+  for (const auto& comp : comps) {
+    if (comp.num_dissimilar_pairs() == 0) continue;  // nothing to peel
+    EXPECT_TRUE(GreedySeedCore(comp, 2, Deadline::AfterSeconds(-1.0)).empty());
+  }
+}
+
+TEST(GreedySeed, DeterministicAcrossCalls) {
+  auto dataset = test::MakeRandomGeo(80, 340, 21);
+  SimilarityOracle oracle(&dataset.attributes, dataset.metric, 0.45);
+  PipelineOptions opts;
+  opts.k = 2;
+  std::vector<ComponentContext> comps;
+  ASSERT_TRUE(PrepareComponents(dataset.graph, oracle, opts, &comps).ok());
+  for (const auto& comp : comps) {
+    EXPECT_EQ(GreedySeedCore(comp, 2), GreedySeedCore(comp, 2));
+  }
+}
+
+}  // namespace
+}  // namespace krcore

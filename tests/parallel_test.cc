@@ -37,6 +37,60 @@ TEST(ParallelOptions, ResolveZeroMeansHardware) {
   EXPECT_EQ(p.Resolve(), 3u);
 }
 
+TEST(TaskPoolTest, RunsEverySubmittedTask) {
+  for (uint32_t threads : {1u, 2u, 4u}) {
+    TaskPool pool(threads);
+    std::vector<std::atomic<uint32_t>> hits(193);
+    for (auto& h : hits) h.store(0);
+    for (size_t i = 0; i < hits.size(); ++i) {
+      pool.Submit([&hits, i] { hits[i].fetch_add(1); });
+    }
+    pool.Wait();
+    for (size_t i = 0; i < hits.size(); ++i) {
+      EXPECT_EQ(hits[i].load(), 1u) << "task " << i << " threads " << threads;
+    }
+    EXPECT_EQ(pool.tasks_spawned(), hits.size());
+  }
+}
+
+TEST(TaskPoolTest, TasksCanSpawnTasks) {
+  // A binary recursion tree spawned entirely from inside tasks: Wait() must
+  // cover the transitive closure, not just the initial submission.
+  TaskPool pool(4);
+  std::atomic<uint32_t> leaves{0};
+  std::function<void(uint32_t)> recurse = [&](uint32_t depth) {
+    if (depth == 0) {
+      leaves.fetch_add(1);
+      return;
+    }
+    pool.Submit([&, depth] { recurse(depth - 1); });
+    recurse(depth - 1);
+  };
+  pool.Submit([&] { recurse(6); });
+  pool.Wait();
+  EXPECT_EQ(leaves.load(), 64u);
+  EXPECT_EQ(pool.tasks_spawned(), 64u);  // 1 root + 63 internal spawns
+}
+
+TEST(TaskPoolTest, WaitWithNoTasksReturnsImmediately) {
+  TaskPool pool(2);
+  pool.Wait();
+  EXPECT_EQ(pool.tasks_spawned(), 0u);
+  EXPECT_EQ(pool.tasks_stolen(), 0u);
+}
+
+TEST(TaskPoolTest, WaitCanBeReusedAcrossBatches) {
+  TaskPool pool(3);
+  std::atomic<uint32_t> count{0};
+  for (int batch = 0; batch < 3; ++batch) {
+    for (int i = 0; i < 10; ++i) {
+      pool.Submit([&count] { count.fetch_add(1); });
+    }
+    pool.Wait();
+    EXPECT_EQ(count.load(), 10u * (batch + 1));
+  }
+}
+
 TEST(ParallelPipeline, ThreadCountDoesNotChangeComponents) {
   auto dataset = test::MakeRandomGeo(120, 500, 77);
   SimilarityOracle oracle(&dataset.attributes, dataset.metric, 0.45);
@@ -120,6 +174,106 @@ TEST_P(ParallelMaxSweep, ThreadsDoNotChangeMaximumSize) {
 
 INSTANTIATE_TEST_SUITE_P(Sweep, ParallelMaxSweep,
                          ::testing::Range<uint64_t>(0, 6));
+
+/// Acceptance requirement for intra-component splitting: with subtree tasks
+/// enabled (any split_depth), the enumeration result set is byte-identical
+/// to the 1-thread run, and the maximum size matches.
+class SubtreeSplitSweep : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(SubtreeSplitSweep, EnumIdenticalAcrossThreadsAndSplitDepths) {
+  auto dataset = test::MakeRandomGeo(60, 260, GetParam());
+  SimilarityOracle oracle(&dataset.attributes, dataset.metric, 0.45);
+  EnumOptions opts = AdvEnumOptions(2);
+  opts.parallel.split_depth = 0;
+  auto sequential = EnumerateMaximalCores(dataset.graph, oracle, opts);
+  ASSERT_TRUE(sequential.status.ok());
+  for (uint32_t split_depth : {2u, 16u}) {
+    for (uint32_t threads : {2u, 4u}) {
+      opts.parallel.num_threads = threads;
+      opts.parallel.split_depth = split_depth;
+      auto parallel = EnumerateMaximalCores(dataset.graph, oracle, opts);
+      ASSERT_TRUE(parallel.status.ok());
+      EXPECT_EQ(parallel.cores, sequential.cores)
+          << "threads=" << threads << " split_depth=" << split_depth
+          << " seed=" << GetParam();
+      // Deep splitting on a multi-threaded run must actually fork subtrees:
+      // more tasks than components.
+      if (split_depth == 16u) {
+        EXPECT_GT(parallel.stats.tasks_spawned, parallel.stats.components)
+            << "seed=" << GetParam();
+      }
+    }
+  }
+}
+
+TEST_P(SubtreeSplitSweep, MaxSizeIdenticalAcrossThreadsAndSplitDepths) {
+  auto dataset = test::MakeRandomGeo(60, 260, GetParam());
+  SimilarityOracle oracle(&dataset.attributes, dataset.metric, 0.45);
+  MaxOptions opts = AdvMaxOptions(2);
+  opts.parallel.split_depth = 0;
+  auto sequential = FindMaximumCore(dataset.graph, oracle, opts);
+  ASSERT_TRUE(sequential.status.ok());
+  for (uint32_t split_depth : {2u, 16u}) {
+    for (uint32_t threads : {2u, 4u}) {
+      opts.parallel.num_threads = threads;
+      opts.parallel.split_depth = split_depth;
+      auto parallel = FindMaximumCore(dataset.graph, oracle, opts);
+      ASSERT_TRUE(parallel.status.ok());
+      EXPECT_EQ(parallel.best.size(), sequential.best.size())
+          << "threads=" << threads << " split_depth=" << split_depth
+          << " seed=" << GetParam();
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, SubtreeSplitSweep,
+                         ::testing::Range<uint64_t>(0, 6));
+
+TEST(SubtreeSplit, BasicEnumAlsoIdenticalWithSplitting) {
+  auto dataset = test::MakeRandomGeo(50, 220, 3);
+  SimilarityOracle oracle(&dataset.attributes, dataset.metric, 0.45);
+  EnumOptions opts = BasicEnumOptions(2);
+  opts.parallel.split_depth = 0;
+  auto sequential = EnumerateMaximalCores(dataset.graph, oracle, opts);
+  ASSERT_TRUE(sequential.status.ok());
+  opts.parallel.num_threads = 4;
+  opts.parallel.split_depth = 16;
+  auto parallel = EnumerateMaximalCores(dataset.graph, oracle, opts);
+  ASSERT_TRUE(parallel.status.ok());
+  EXPECT_EQ(parallel.cores, sequential.cores);
+}
+
+TEST(ParallelMax, BoundRefreshDoesNotChangeMaximumSize) {
+  // Tiered lazy bounds are exact for any refresh interval: the cached value
+  // stays a valid upper bound between recomputes.
+  auto dataset = test::MakeRandomGeo(60, 260, 9);
+  SimilarityOracle oracle(&dataset.attributes, dataset.metric, 0.45);
+  MaxOptions opts = AdvMaxOptions(2);
+  opts.bound_refresh = 1;  // recompute every node (the pre-tiered behavior)
+  auto eager = FindMaximumCore(dataset.graph, oracle, opts);
+  ASSERT_TRUE(eager.status.ok());
+  for (uint32_t refresh : {4u, 64u, 100000u}) {
+    opts.bound_refresh = refresh;
+    auto lazy = FindMaximumCore(dataset.graph, oracle, opts);
+    ASSERT_TRUE(lazy.status.ok());
+    EXPECT_EQ(lazy.best.size(), eager.best.size()) << "refresh=" << refresh;
+  }
+}
+
+TEST(ParallelMax, SeedIncumbentDoesNotChangeMaximumSize) {
+  for (uint64_t seed : {1ull, 2ull, 3ull}) {
+    auto dataset = test::MakeRandomGeo(60, 260, seed);
+    SimilarityOracle oracle(&dataset.attributes, dataset.metric, 0.45);
+    MaxOptions opts = AdvMaxOptions(2);
+    opts.use_seed_incumbent = false;
+    auto unseeded = FindMaximumCore(dataset.graph, oracle, opts);
+    ASSERT_TRUE(unseeded.status.ok());
+    opts.use_seed_incumbent = true;
+    auto seeded = FindMaximumCore(dataset.graph, oracle, opts);
+    ASSERT_TRUE(seeded.status.ok());
+    EXPECT_EQ(seeded.best.size(), unseeded.best.size()) << "seed=" << seed;
+  }
+}
 
 TEST(ParallelEnum, DeadlineStillPropagates) {
   auto dataset = test::MakeRandomGeo(40, 200, 5);

@@ -337,5 +337,120 @@ TEST_P(SearchContextFuzz, RandomOpsKeepInvariants) {
 INSTANTIATE_TEST_SUITE_P(Sweep, SearchContextFuzz,
                          ::testing::Range<uint64_t>(0, 10));
 
+/// Compares every piece of observable state between two contexts over the
+/// same component.
+void ExpectSameState(const SearchContext& a, const SearchContext& b) {
+  const VertexId n = a.component().size();
+  ASSERT_EQ(n, b.component().size());
+  EXPECT_EQ(a.dead(), b.dead());
+  EXPECT_EQ(a.dissimilar_pairs_c(), b.dissimilar_pairs_c());
+  EXPECT_EQ(a.edges_mc(), b.edges_mc());
+  EXPECT_EQ(a.sf_count(), b.sf_count());
+  for (VertexId u = 0; u < n; ++u) {
+    EXPECT_EQ(a.state(u), b.state(u)) << "state mismatch at " << u;
+    EXPECT_EQ(a.deg_m(u), b.deg_m(u)) << "deg_m mismatch at " << u;
+    EXPECT_EQ(a.dp_c(u), b.dp_c(u)) << "dp_c mismatch at " << u;
+    EXPECT_EQ(a.dp_m(u), b.dp_m(u)) << "dp_m mismatch at " << u;
+    EXPECT_EQ(a.dp_e(u), b.dp_e(u)) << "dp_e mismatch at " << u;
+    if (a.state(u) == VertexState::kInC || a.state(u) == VertexState::kInM) {
+      EXPECT_EQ(a.deg_mc(u), b.deg_mc(u)) << "deg_mc mismatch at " << u;
+    }
+  }
+  auto sorted = [](const VertexList& list) {
+    auto v = list.Materialize();
+    std::sort(v.begin(), v.end());
+    return v;
+  };
+  EXPECT_EQ(sorted(a.m_list()), sorted(b.m_list()));
+  EXPECT_EQ(sorted(a.c_list()), sorted(b.c_list()));
+  EXPECT_EQ(sorted(a.e_list()), sorted(b.e_list()));
+  EXPECT_EQ(a.MaterializeMC(), b.MaterializeMC());
+}
+
+/// Fork equivalence: a forked context behaves exactly like the original
+/// under a shared random op sequence (including rewinds relative to
+/// per-context marks), and its own trail starts empty at the fork point.
+class SearchContextForkSweep : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(SearchContextForkSweep, ForkBehavesIdenticallyUnderRandomOps) {
+  auto dataset = test::MakeRandomGeo(40, 160, GetParam() + 100);
+  SimilarityOracle oracle(&dataset.attributes, dataset.metric, 0.5);
+  PipelineOptions opts;
+  opts.k = 2;
+  std::vector<ComponentContext> comps;
+  ASSERT_TRUE(PrepareComponents(dataset.graph, oracle, opts, &comps).ok());
+  Rng rng(GetParam() * 131 + 7);
+  for (auto& comp : comps) {
+    SearchContext original(comp, 2, true);
+    // Reach a non-trivial prefix state on the original alone.
+    for (int step = 0; step < 6 && !original.c_list().empty(); ++step) {
+      auto members = original.c_list().Materialize();
+      std::sort(members.begin(), members.end());
+      VertexId u = members[rng.NextBounded(members.size())];
+      size_t mark = original.Mark();
+      bool alive = rng.NextBernoulli(0.5) ? original.Expand(u)
+                                          : original.Shrink(u);
+      if (!alive) original.RewindTo(mark);
+    }
+
+    SearchContext fork = original.Fork();
+    EXPECT_EQ(fork.Mark(), 0u) << "fork must start with an empty trail";
+    ExpectSameState(original, fork);
+
+    // Drive both with identical decisions; rewinds use per-context marks
+    // (the fork's trail is rooted at the fork point, the original's is not).
+    std::vector<size_t> marks_o, marks_f;
+    for (int step = 0; step < 120; ++step) {
+      double roll = rng.NextDouble();
+      if ((roll < 0.3 && !marks_o.empty()) || original.c_list().empty()) {
+        if (marks_o.empty()) break;
+        original.RewindTo(marks_o.back());
+        fork.RewindTo(marks_f.back());
+        marks_o.pop_back();
+        marks_f.pop_back();
+        ExpectSameState(original, fork);
+        continue;
+      }
+      auto members = original.c_list().Materialize();
+      std::sort(members.begin(), members.end());
+      VertexId u = members[rng.NextBounded(members.size())];
+      marks_o.push_back(original.Mark());
+      marks_f.push_back(fork.Mark());
+      double op = rng.NextDouble();
+      bool alive_o, alive_f;
+      if (op < 0.45) {
+        alive_o = original.Expand(u);
+        alive_f = fork.Expand(u);
+      } else if (op < 0.9) {
+        alive_o = original.Shrink(u);
+        alive_f = fork.Shrink(u);
+      } else {
+        uint64_t promo_o = 0, promo_f = 0;
+        alive_o = original.PromoteSimilarityFree(&promo_o);
+        alive_f = fork.PromoteSimilarityFree(&promo_f);
+        EXPECT_EQ(promo_o, promo_f);
+      }
+      ASSERT_EQ(alive_o, alive_f) << "divergence at step " << step;
+      if (!alive_o) {
+        original.RewindTo(marks_o.back());
+        fork.RewindTo(marks_f.back());
+        marks_o.pop_back();
+        marks_f.pop_back();
+      }
+      ExpectSameState(original, fork);
+    }
+    // Unwinding the fork to its root restores the fork-point state exactly.
+    fork.RewindTo(0);
+    while (!marks_o.empty()) {
+      original.RewindTo(marks_o.back());
+      marks_o.pop_back();
+    }
+    ExpectSameState(original, fork);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, SearchContextForkSweep,
+                         ::testing::Range<uint64_t>(0, 6));
+
 }  // namespace
 }  // namespace krcore
