@@ -1,0 +1,120 @@
+#!/usr/bin/env python3
+"""Validates BENCH_*.json files emitted by WriteJsonReport.
+
+Checks the minimal schema the repo's tooling relies on: top-level identity
+fields, the config block (including the measuring host's concurrency, which
+makes scaling numbers interpretable), and per-measurement records with the
+bound-tier and task-pool counters. Used by the CI bench-smoke job on the
+freshly produced JSON and usable locally on the checked-in baselines:
+
+    python3 bench/check_bench_json.py BENCH_*.json
+
+Exits non-zero with one line per violation.
+"""
+
+import json
+import sys
+
+TOP_FIELDS = {
+    "bench": str,
+    "description": str,
+    "command": str,
+    "config": dict,
+    "recorded": str,
+    "measurements": list,
+}
+
+CONFIG_FIELDS = {
+    "scale": (int, float),
+    "timeout_seconds": (int, float),
+    "seed": int,
+    "threads": int,
+    "hardware_concurrency": int,
+    "build_type": str,
+    "compiler": str,
+}
+
+MEASUREMENT_FIELDS = {
+    "figure": str,
+    "series": str,
+    "x": str,
+    "seconds": (int, float),
+    "timed_out": bool,
+    "result_count": int,
+    "result_size_max": int,
+    "result_size_avg": (int, float),
+    "search_nodes": int,
+    "bound_naive_prunes": int,
+    "bound_cache_hits": int,
+    "bound_expensive_prunes": int,
+    "bound_recomputes": int,
+    "tasks_spawned": int,
+    "task_steals": int,
+}
+
+
+def check_fields(obj, spec, where, errors):
+    for name, types in spec.items():
+        if name not in obj:
+            errors.append(f"{where}: missing field '{name}'")
+        elif not isinstance(obj[name], types):
+            errors.append(
+                f"{where}: field '{name}' has type "
+                f"{type(obj[name]).__name__}, wanted {types}"
+            )
+    # bool is an int subclass; reject it where an int count is expected.
+    for name in spec:
+        if spec[name] is int and isinstance(obj.get(name), bool):
+            errors.append(f"{where}: field '{name}' is a bool, wanted int")
+
+
+def check_file(path):
+    errors = []
+    try:
+        with open(path, encoding="utf-8") as f:
+            doc = json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        return [f"{path}: unreadable or invalid JSON: {e}"]
+
+    if not isinstance(doc, dict):
+        return [f"{path}: top level is not an object"]
+    check_fields(doc, TOP_FIELDS, path, errors)
+    if isinstance(doc.get("config"), dict):
+        check_fields(doc["config"], CONFIG_FIELDS, f"{path}: config", errors)
+    measurements = doc.get("measurements")
+    if isinstance(measurements, list):
+        if not measurements:
+            errors.append(f"{path}: no measurements")
+        for i, m in enumerate(measurements):
+            where = f"{path}: measurements[{i}]"
+            if not isinstance(m, dict):
+                errors.append(f"{where}: not an object")
+                continue
+            check_fields(m, MEASUREMENT_FIELDS, where, errors)
+            if isinstance(m.get("seconds"), (int, float)) and m["seconds"] < 0:
+                errors.append(f"{where}: negative seconds")
+    return errors
+
+
+def main(argv):
+    if len(argv) < 2:
+        print("usage: check_bench_json.py BENCH_file.json...", file=sys.stderr)
+        return 2
+    failures = 0
+    for path in argv[1:]:
+        errors = check_file(path)
+        if errors:
+            failures += 1
+            for e in errors:
+                print(e, file=sys.stderr)
+        else:
+            doc = json.load(open(path, encoding="utf-8"))
+            print(
+                f"{path}: ok ({doc['bench']}, "
+                f"{len(doc['measurements'])} measurements)"
+            )
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

@@ -9,17 +9,28 @@
 //   krcore_cli --dataset=gowalla --scale=0.2 --k=5 --r=25 --mode=max
 //   krcore_cli --dataset=dblp --k=10 --permille=3       (calibrated r)
 //
+// Prepared-workspace workflow (save the Algorithm 1 preprocessing once,
+// answer many (k,r) queries from it):
+//   krcore_cli --dataset=gowalla --k=3 --r=25 --snapshot_out=ws.krws
+//   krcore_cli --snapshot_in=ws.krws --k=5 --mode=max      (k >= saved k)
+//   krcore_cli --snapshot_in=ws.krws --sweep=3,4,5,6
+//   krcore_cli --dataset=gowalla --r=0 --sweep=3,4x10,25 --mode=enum
+//
 // Exits non-zero on error; prints one core per line (sorted vertex ids).
 
+#include <algorithm>
 #include <cstdio>
 #include <fstream>
+#include <sstream>
 
 #include "core/enumerate.h"
 #include "core/maximum.h"
+#include "core/parameter_sweep.h"
 #include "datasets/generators.h"
 #include "graph/graph_io.h"
 #include "similarity/attributes_io.h"
 #include "similarity/threshold.h"
+#include "snapshot/workspace_snapshot.h"
 #include "util/options.h"
 
 using namespace krcore;
@@ -46,6 +57,69 @@ int Fail(const std::string& message) {
   return 1;
 }
 
+std::vector<std::string> SplitOn(const std::string& s, char sep) {
+  std::vector<std::string> parts;
+  std::istringstream in(s);
+  std::string part;
+  while (std::getline(in, part, sep)) parts.push_back(part);
+  return parts;
+}
+
+bool ParseKs(const std::string& spec, std::vector<uint32_t>* ks) {
+  for (const std::string& p : SplitOn(spec, ',')) {
+    char* end = nullptr;
+    long v = std::strtol(p.c_str(), &end, 10);
+    if (p.empty() || *end != '\0' || v <= 0) return false;
+    ks->push_back(static_cast<uint32_t>(v));
+  }
+  return !ks->empty();
+}
+
+bool ParseRs(const std::string& spec, std::vector<double>* rs) {
+  for (const std::string& p : SplitOn(spec, ',')) {
+    char* end = nullptr;
+    double v = std::strtod(p.c_str(), &end);
+    if (p.empty() || *end != '\0') return false;
+    rs->push_back(v);
+  }
+  return !rs->empty();
+}
+
+/// Parses "--sweep=k1,k2[xr1,r2]". The r part is optional (snapshot sweeps
+/// have the threshold baked in; graph sweeps default to --r).
+bool ParseSweepSpec(const std::string& spec, std::vector<uint32_t>* ks,
+                    std::vector<double>* rs) {
+  auto halves = SplitOn(spec, 'x');
+  if (halves.empty() || halves.size() > 2) return false;
+  if (!ParseKs(halves[0], ks)) return false;
+  if (halves.size() == 2 && !ParseRs(halves[1], rs)) return false;
+  return true;
+}
+
+/// One-line summary per mined sweep cell (the cell vertex sets are not
+/// printed — sweeps are for surveying the parameter space).
+void PrintSweepResult(const SweepResult& result, SweepMode mode) {
+  for (const auto& cell : result.cells) {
+    const MiningStats& stats = cell.stats(mode);
+    uint64_t count = mode == SweepMode::kEnumerate
+                         ? cell.enum_result.cores.size()
+                         : cell.max_result.best.size();
+    std::fprintf(stderr,
+                 "  k=%-3u r=%-10g %s=%-6llu %s%ssec=%.3f\n", cell.k, cell.r,
+                 mode == SweepMode::kEnumerate ? "cores" : "|max|",
+                 (unsigned long long)count,
+                 cell.derived ? "derived " : "swept   ",
+                 cell.status(mode).ok() ? "" : "FAILED ", stats.seconds);
+  }
+  std::fprintf(stderr,
+               "sweep: %zu cells, %llu pair sweeps, %llu derived, "
+               "prepare %.3fs, total %.3fs, status %s\n",
+               result.cells.size(), (unsigned long long)result.pair_sweeps,
+               (unsigned long long)result.derived_cells,
+               result.prepare_seconds, result.seconds,
+               result.status.ToString().c_str());
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -61,10 +135,144 @@ int main(int argc, char** argv) {
         "                    0 = per-component parallelism only)\n"
         "  --bound_refresh=N recompute the expensive size bound at most\n"
         "                    every N nodes (max mode, default 64)\n"
-        "  --no_seed         skip the greedy incumbent seed (max mode)\n");
+        "  --no_seed         skip the greedy incumbent seed (max mode)\n"
+        "prepared workspaces (save preprocessing once, query many times):\n"
+        "  --snapshot_out=F  prepare at (--k, --r), save the workspace to F,\n"
+        "                    then serve the requested query from it\n"
+        "  --snapshot_in=F   load a workspace instead of a graph; --k >= the\n"
+        "                    saved k is served by k-core derivation\n"
+        "  --sweep=KS[xRS]   mine every (k,r) cell, e.g. 3,4,5x10,25 —\n"
+        "                    one pair sweep per r, higher k derived. With\n"
+        "                    --snapshot_in only KS is allowed\n");
     return 0;
   }
 
+  double timeout = options.GetDouble("timeout", 60.0);
+  std::string mode = options.GetString("mode", "enum");
+  // 1 = sequential, 0 = all hardware cores (per-component parallelism plus
+  // intra-component subtree splitting down to --split_depth).
+  uint32_t threads = static_cast<uint32_t>(options.GetInt("threads", 1));
+  uint32_t split_depth = static_cast<uint32_t>(
+      options.GetInt("split_depth", ParallelOptions{}.split_depth));
+  int64_t bound_refresh =
+      options.GetInt("bound_refresh", MaxOptions{}.bound_refresh);
+  if (bound_refresh <= 0) {
+    return Fail("--bound_refresh must be a positive integer");
+  }
+  if (mode != "enum" && mode != "max") {
+    return Fail("unknown --mode (use enum or max)");
+  }
+
+  auto MakeEnumOptions = [&](uint32_t k) {
+    EnumOptions opts = AdvEnumOptions(k);
+    opts.deadline = Deadline::AfterSeconds(timeout);
+    opts.parallel.num_threads = threads;
+    opts.parallel.split_depth = split_depth;
+    return opts;
+  };
+  auto MakeMaxOptions = [&](uint32_t k) {
+    MaxOptions opts = AdvMaxOptions(k);
+    opts.deadline = Deadline::AfterSeconds(timeout);
+    opts.parallel.num_threads = threads;
+    opts.parallel.split_depth = split_depth;
+    opts.bound_refresh = static_cast<uint32_t>(bound_refresh);
+    opts.use_seed_incumbent = !options.GetBool("no_seed", false);
+    return opts;
+  };
+  auto MakeSweepOptions = [&]() {
+    SweepOptions sweep;
+    sweep.mode = mode == "enum" ? SweepMode::kEnumerate : SweepMode::kMaximum;
+    sweep.enumerate = MakeEnumOptions(0);
+    sweep.maximum = MakeMaxOptions(0);
+    return sweep;
+  };
+
+  std::ofstream out_file;
+  std::FILE* sink = stdout;
+  std::string out_path = options.GetString("out", "");
+
+  auto PrintCore = [&](const VertexSet& core) {
+    std::string line;
+    for (size_t i = 0; i < core.size(); ++i) {
+      if (i) line += ' ';
+      line += std::to_string(core[i]);
+    }
+    line += '\n';
+    if (out_path.empty()) {
+      std::fputs(line.c_str(), sink);
+    } else {
+      out_file << line;
+    }
+  };
+  if (!out_path.empty()) {
+    out_file.open(out_path);
+    if (!out_file) return Fail("cannot open --out file: " + out_path);
+  }
+
+  /// Serves the single-cell query from prepared components.
+  auto MineComponents = [&](const std::vector<ComponentContext>& components,
+                            uint32_t k) {
+    if (mode == "enum") {
+      auto result = EnumerateMaximalCores(components, MakeEnumOptions(k));
+      std::fprintf(stderr, "status: %s; %zu maximal (%u,r)-cores; %s\n",
+                   result.status.ToString().c_str(), result.cores.size(), k,
+                   result.stats.ToString().c_str());
+      for (const auto& core : result.cores) PrintCore(core);
+      return result.status.ok() ? 0 : 2;
+    }
+    auto result = FindMaximumCore(components, MakeMaxOptions(k));
+    std::fprintf(stderr, "status: %s; |maximum| = %zu; %s\n",
+                 result.status.ToString().c_str(), result.best.size(),
+                 result.stats.ToString().c_str());
+    if (!result.best.empty()) PrintCore(result.best);
+    return result.status.ok() ? 0 : 2;
+  };
+
+  // --- Serving from a saved workspace: no graph, no attributes, no oracle.
+  if (options.Has("snapshot_in")) {
+    if (options.Has("snapshot_out")) {
+      return Fail("--snapshot_out cannot be combined with --snapshot_in");
+    }
+    PreparedWorkspace ws;
+    Status s =
+        LoadWorkspaceSnapshot(options.GetString("snapshot_in", ""), &ws);
+    if (!s.ok()) return Fail(s.ToString());
+    std::fprintf(stderr,
+                 "loaded workspace: k=%u r=%g, %zu components, %u vertices\n",
+                 ws.k, ws.threshold, ws.components.size(), ws.num_vertices());
+
+    if (options.Has("sweep")) {
+      std::vector<uint32_t> ks;
+      std::vector<double> rs;
+      if (!ParseSweepSpec(options.GetString("sweep", ""), &ks, &rs)) {
+        return Fail("bad --sweep spec (want k1,k2[xr1,r2]); see --help");
+      }
+      if (!rs.empty()) {
+        return Fail(
+            "with --snapshot_in, --sweep takes k values only (the saved "
+            "workspace fixes r)");
+      }
+      SweepResult result = SweepPreparedWorkspace(ws, ks, MakeSweepOptions());
+      PrintSweepResult(result,
+                       mode == "enum" ? SweepMode::kEnumerate
+                                      : SweepMode::kMaximum);
+      return result.status.ok() ? 0 : 2;
+    }
+
+    uint32_t k = static_cast<uint32_t>(options.GetInt("k", ws.k));
+    if (k == ws.k) return MineComponents(ws.components, k);
+    PipelineOptions pipe;
+    pipe.k = k;
+    pipe.deadline = Deadline::AfterSeconds(timeout);
+    PreparedWorkspace derived;
+    s = DeriveWorkspace(ws, k, pipe, &derived);
+    if (!s.ok()) return Fail(s.ToString());
+    std::fprintf(stderr, "derived k=%u workspace: %zu components\n", k,
+                 derived.components.size());
+    return MineComponents(derived.components, k);
+  }
+
+  // --- Cold path: build or read the attributed graph.
   Dataset dataset;
   if (options.Has("dataset")) {
     dataset = MakePaperAnalogue(options.GetString("dataset", "gowalla"),
@@ -110,66 +318,80 @@ int main(int argc, char** argv) {
   }
 
   SimilarityOracle oracle = dataset.MakeOracle(r);
-  double timeout = options.GetDouble("timeout", 60.0);
-  std::string mode = options.GetString("mode", "enum");
-  // 1 = sequential, 0 = all hardware cores (per-component parallelism plus
-  // intra-component subtree splitting down to --split_depth).
-  uint32_t threads = static_cast<uint32_t>(options.GetInt("threads", 1));
-  uint32_t split_depth = static_cast<uint32_t>(
-      options.GetInt("split_depth", ParallelOptions{}.split_depth));
 
-  std::ofstream out_file;
-  std::FILE* sink = stdout;
-  std::string out_path = options.GetString("out", "");
+  // --- Batched (k,r) grid over the raw graph. With --snapshot_out the
+  // grid must have a single r: the base workspace is prepared at the
+  // smallest k, persisted, and the sweep is then served from it.
+  if (options.Has("sweep")) {
+    SweepGrid grid;
+    if (!ParseSweepSpec(options.GetString("sweep", ""), &grid.ks,
+                        &grid.rs)) {
+      return Fail("bad --sweep spec (want k1,k2[xr1,r2]); see --help");
+    }
+    if (grid.rs.empty()) grid.rs = {r};
+    if (options.Has("snapshot_out")) {
+      if (grid.rs.size() != 1) {
+        return Fail(
+            "--snapshot_out needs a single-r sweep (a workspace snapshot "
+            "fixes one r)");
+      }
+      PipelineOptions pipe;
+      pipe.k = *std::min_element(grid.ks.begin(), grid.ks.end());
+      pipe.deadline = Deadline::AfterSeconds(timeout);
+      pipe.preprocess.num_threads = threads;
+      PreparedWorkspace ws;
+      Status s = PrepareWorkspace(
+          dataset.graph, oracle.WithThreshold(grid.rs[0]), pipe, &ws);
+      if (!s.ok()) return Fail(s.ToString());
+      const std::string path = options.GetString("snapshot_out", "");
+      s = SaveWorkspaceSnapshot(ws, path);
+      if (!s.ok()) return Fail(s.ToString());
+      std::fprintf(stderr, "saved workspace (k=%u r=%g) to %s\n", ws.k,
+                   ws.threshold, path.c_str());
+      SweepResult result =
+          SweepPreparedWorkspace(ws, grid.ks, MakeSweepOptions());
+      PrintSweepResult(result, mode == "enum" ? SweepMode::kEnumerate
+                                              : SweepMode::kMaximum);
+      return result.status.ok() ? 0 : 2;
+    }
+    SweepResult result =
+        RunParameterSweep(dataset.graph, oracle, grid, MakeSweepOptions());
+    PrintSweepResult(result, mode == "enum" ? SweepMode::kEnumerate
+                                            : SweepMode::kMaximum);
+    return result.status.ok() ? 0 : 2;
+  }
 
-  auto PrintCore = [&](const VertexSet& core) {
-    std::string line;
-    for (size_t i = 0; i < core.size(); ++i) {
-      if (i) line += ' ';
-      line += std::to_string(core[i]);
-    }
-    line += '\n';
-    if (out_path.empty()) {
-      std::fputs(line.c_str(), sink);
-    } else {
-      out_file << line;
-    }
-  };
-  if (!out_path.empty()) {
-    out_file.open(out_path);
-    if (!out_file) return Fail("cannot open --out file: " + out_path);
+  // --- Single cell, optionally persisting the prepared workspace first.
+  if (options.Has("snapshot_out")) {
+    PipelineOptions pipe;
+    pipe.k = k;
+    pipe.deadline = Deadline::AfterSeconds(timeout);
+    pipe.preprocess.num_threads = threads;
+    PreparedWorkspace ws;
+    PreprocessReport report;
+    Status s = PrepareWorkspace(dataset.graph, oracle, pipe, &ws, &report);
+    if (!s.ok()) return Fail(s.ToString());
+    const std::string path = options.GetString("snapshot_out", "");
+    s = SaveWorkspaceSnapshot(ws, path);
+    if (!s.ok()) return Fail(s.ToString());
+    std::fprintf(stderr, "saved workspace to %s (%s)\n", path.c_str(),
+                 report.ToString().c_str());
+    return MineComponents(ws.components, k);
   }
 
   if (mode == "enum") {
-    EnumOptions opts = AdvEnumOptions(k);
-    opts.deadline = Deadline::AfterSeconds(timeout);
-    opts.parallel.num_threads = threads;
-    opts.parallel.split_depth = split_depth;
-    auto result = EnumerateMaximalCores(dataset.graph, oracle, opts);
+    auto result =
+        EnumerateMaximalCores(dataset.graph, oracle, MakeEnumOptions(k));
     std::fprintf(stderr, "status: %s; %zu maximal (%u,r)-cores; %s\n",
                  result.status.ToString().c_str(), result.cores.size(), k,
                  result.stats.ToString().c_str());
     for (const auto& core : result.cores) PrintCore(core);
     return result.status.ok() ? 0 : 2;
   }
-  if (mode == "max") {
-    MaxOptions opts = AdvMaxOptions(k);
-    opts.deadline = Deadline::AfterSeconds(timeout);
-    opts.parallel.num_threads = threads;
-    opts.parallel.split_depth = split_depth;
-    int64_t bound_refresh =
-        options.GetInt("bound_refresh", MaxOptions{}.bound_refresh);
-    if (bound_refresh <= 0) {
-      return Fail("--bound_refresh must be a positive integer");
-    }
-    opts.bound_refresh = static_cast<uint32_t>(bound_refresh);
-    opts.use_seed_incumbent = !options.GetBool("no_seed", false);
-    auto result = FindMaximumCore(dataset.graph, oracle, opts);
-    std::fprintf(stderr, "status: %s; |maximum| = %zu; %s\n",
-                 result.status.ToString().c_str(), result.best.size(),
-                 result.stats.ToString().c_str());
-    if (!result.best.empty()) PrintCore(result.best);
-    return result.status.ok() ? 0 : 2;
-  }
-  return Fail("unknown --mode (use enum or max)");
+  auto result = FindMaximumCore(dataset.graph, oracle, MakeMaxOptions(k));
+  std::fprintf(stderr, "status: %s; |maximum| = %zu; %s\n",
+               result.status.ToString().c_str(), result.best.size(),
+               result.stats.ToString().c_str());
+  if (!result.best.empty()) PrintCore(result.best);
+  return result.status.ok() ? 0 : 2;
 }

@@ -211,8 +211,9 @@ Measurement MeasureEnum(const std::string& series, const std::string& x_label,
     m.result_size_max = std::max<uint64_t>(m.result_size_max, c.size());
     total += c.size();
   }
-  m.result_size_avg =
-      result.cores.empty() ? 0.0 : static_cast<double>(total) / result.cores.size();
+  m.result_size_avg = result.cores.empty()
+                          ? 0.0
+                          : static_cast<double>(total) / result.cores.size();
   return m;
 }
 

@@ -266,9 +266,7 @@ class ComponentEnumerator {
 MaximalCoresResult EnumerateMaximalCores(const Graph& g,
                                          const SimilarityOracle& oracle,
                                          const EnumOptions& options) {
-  MaximalCoresResult result;
   Timer timer;
-
   const uint32_t threads = options.parallel.Resolve();
   PipelineOptions pipe;
   pipe.k = options.k;
@@ -276,8 +274,30 @@ MaximalCoresResult EnumerateMaximalCores(const Graph& g,
   pipe.preprocess.num_threads = threads;
   pipe.deadline = options.deadline;
   std::vector<ComponentContext> components;
-  result.status = PrepareComponents(g, oracle, pipe, &components);
-  if (!result.status.ok()) return result;
+  Status prepared = PrepareComponents(g, oracle, pipe, &components);
+  const double prepare_seconds = timer.ElapsedSeconds();
+  if (!prepared.ok()) {
+    MaximalCoresResult result;
+    result.status = prepared;
+    result.stats.prepare_pair_sweeps = 1;
+    result.stats.prepare_seconds = prepare_seconds;
+    result.stats.seconds = prepare_seconds;
+    return result;
+  }
+
+  MaximalCoresResult result = EnumerateMaximalCores(components, options);
+  result.stats.prepare_pair_sweeps = 1;
+  result.stats.prepare_seconds = prepare_seconds;
+  result.stats.seconds = timer.ElapsedSeconds();
+  return result;
+}
+
+MaximalCoresResult EnumerateMaximalCores(
+    const std::vector<ComponentContext>& components,
+    const EnumOptions& options) {
+  MaximalCoresResult result;
+  Timer timer;
+  const uint32_t threads = options.parallel.Resolve();
 
   std::atomic<bool> failed{false};
   std::vector<std::shared_ptr<EnumJob>> jobs;

@@ -65,6 +65,17 @@ MaximalCoresResult EnumerateMaximalCores(const Graph& g,
                                          const SimilarityOracle& oracle,
                                          const EnumOptions& options);
 
+/// Runs the search phase only, on components already produced by
+/// PrepareComponents / PrepareWorkspace / a loaded snapshot — the entry
+/// point the parameter-sweep engine and snapshot consumers use to skip the
+/// O(n^2) preprocessing. `options.k` must equal the k the components were
+/// prepared at (and the oracle threshold they were filtered with is baked
+/// in); options.preprocess is ignored. Results are identical to the
+/// (graph, oracle) overload run with the same options.
+MaximalCoresResult EnumerateMaximalCores(
+    const std::vector<ComponentContext>& components,
+    const EnumOptions& options);
+
 /// Shorthand presets matching the paper's named variants.
 EnumOptions BasicEnumOptions(uint32_t k);
 EnumOptions AdvEnumOptions(uint32_t k);

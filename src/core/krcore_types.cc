@@ -69,6 +69,9 @@ void MiningStats::MergeFrom(const MiningStats& other) {
   components += other.components;
   tasks_spawned += other.tasks_spawned;
   task_steals += other.task_steals;
+  prepare_pair_sweeps += other.prepare_pair_sweeps;
+  prepare_derivations += other.prepare_derivations;
+  prepare_seconds += other.prepare_seconds;
   seconds += other.seconds;
 }
 
@@ -83,7 +86,9 @@ std::string MiningStats::ToString() const {
      << " recomputes=" << bound_recomputes << ")"
      << " promotions=" << promotions << " mc_calls=" << maximal_check_calls
      << " comps=" << components << " tasks=" << tasks_spawned
-     << " steals=" << task_steals << " sec=" << seconds;
+     << " steals=" << task_steals << " sweeps=" << prepare_pair_sweeps
+     << " derived=" << prepare_derivations
+     << " prep_sec=" << prepare_seconds << " sec=" << seconds;
   return os.str();
 }
 

@@ -72,6 +72,14 @@ struct MiningStats {
   // and how many of them ran on a worker other than their submitter's.
   uint64_t tasks_spawned = 0;
   uint64_t task_steals = 0;
+  // Substrate provenance: full O(n^2) similarity pair sweeps run for this
+  // result (0 when the search ran on an already-prepared workspace — a
+  // snapshot load or a sweep-cached substrate), substrates derived from a
+  // cached workspace via k-core nesting instead of a fresh sweep, and the
+  // wall time spent preparing/deriving (included in `seconds`).
+  uint64_t prepare_pair_sweeps = 0;
+  uint64_t prepare_derivations = 0;
+  double prepare_seconds = 0.0;
   double seconds = 0.0;
 
   void MergeFrom(const MiningStats& other);

@@ -312,10 +312,7 @@ class ComponentMaximizer {
 MaximumCoreResult FindMaximumCore(const Graph& g,
                                   const SimilarityOracle& oracle,
                                   const MaxOptions& options) {
-  MaximumCoreResult result;
   Timer timer;
-  KRCORE_CHECK(options.bound_refresh > 0) << "bound_refresh must be positive";
-
   const uint32_t threads = options.parallel.Resolve();
   PipelineOptions pipe;
   pipe.k = options.k;
@@ -324,8 +321,31 @@ MaximumCoreResult FindMaximumCore(const Graph& g,
   pipe.deadline = options.deadline;
   pipe.order_by_max_degree = true;  // search the densest part first
   std::vector<ComponentContext> components;
-  result.status = PrepareComponents(g, oracle, pipe, &components);
-  if (!result.status.ok()) return result;
+  Status prepared = PrepareComponents(g, oracle, pipe, &components);
+  const double prepare_seconds = timer.ElapsedSeconds();
+  if (!prepared.ok()) {
+    MaximumCoreResult result;
+    result.status = prepared;
+    result.stats.prepare_pair_sweeps = 1;
+    result.stats.prepare_seconds = prepare_seconds;
+    result.stats.seconds = prepare_seconds;
+    return result;
+  }
+
+  MaximumCoreResult result = FindMaximumCore(components, options);
+  result.stats.prepare_pair_sweeps = 1;
+  result.stats.prepare_seconds = prepare_seconds;
+  result.stats.seconds = timer.ElapsedSeconds();
+  return result;
+}
+
+MaximumCoreResult FindMaximumCore(
+    const std::vector<ComponentContext>& components,
+    const MaxOptions& options) {
+  MaximumCoreResult result;
+  Timer timer;
+  KRCORE_CHECK(options.bound_refresh > 0) << "bound_refresh must be positive";
+  const uint32_t threads = options.parallel.Resolve();
 
   SharedBest best;
   if (options.use_seed_incumbent && !components.empty()) {

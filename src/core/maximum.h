@@ -5,6 +5,7 @@
 
 #include "core/krcore_types.h"
 #include "core/parallel.h"
+#include "core/pipeline.h"
 #include "core/preprocess_options.h"
 #include "graph/graph.h"
 #include "similarity/similarity_oracle.h"
@@ -65,6 +66,15 @@ struct MaxOptions {
 MaximumCoreResult FindMaximumCore(const Graph& g,
                                   const SimilarityOracle& oracle,
                                   const MaxOptions& options);
+
+/// Runs the branch-and-bound phase only, on components already produced by
+/// PrepareComponents / PrepareWorkspace / a loaded snapshot — the entry
+/// point the parameter-sweep engine and snapshot consumers use to skip the
+/// O(n^2) preprocessing. `options.k` must equal the k the components were
+/// prepared at; options.preprocess is ignored. The maximum size matches the
+/// (graph, oracle) overload run with the same options.
+MaximumCoreResult FindMaximumCore(
+    const std::vector<ComponentContext>& components, const MaxOptions& options);
 
 /// Shorthand presets matching the paper's named variants.
 MaxOptions BasicMaxOptions(uint32_t k);

@@ -34,8 +34,8 @@ struct ParallelOptions {
 /// Work-stealing task pool shared by per-component root tasks and the
 /// subtree tasks they fork: one deque per worker (owner pushes/pops the
 /// front, thieves take from the back), so the deep LIFO end stays hot in
-/// the owning worker's cache while old shallow subtrees — the biggest ones —
-/// get stolen first. Tasks may submit further tasks; Wait() returns only
+/// the owning worker's cache while old shallow subtrees — the biggest
+/// ones — get stolen first. Tasks may submit further tasks; Wait() returns only
 /// when the transitive closure has drained.
 ///
 /// All queue state is guarded by one mutex: tasks here are coarse subtree

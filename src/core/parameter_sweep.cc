@@ -1,0 +1,239 @@
+#include "core/parameter_sweep.h"
+
+#include <algorithm>
+#include <memory>
+
+#include "core/parallel.h"
+#include "util/timer.h"
+
+namespace krcore {
+namespace {
+
+/// Builds the PipelineOptions the sweep's shared preparations run with,
+/// mirroring what the cold mining entry points construct internally.
+PipelineOptions BasePipelineOptions(const SweepOptions& options, uint32_t k) {
+  const bool enumerate = options.mode == SweepMode::kEnumerate;
+  PipelineOptions pipe;
+  pipe.k = k;
+  pipe.preprocess = enumerate ? options.enumerate.preprocess
+                              : options.maximum.preprocess;
+  pipe.deadline =
+      enumerate ? options.enumerate.deadline : options.maximum.deadline;
+  return pipe;
+}
+
+/// Mines one cell on components already extracted at `k`. `derive_seconds`
+/// is the cell-specific substrate time (0 for the base-k cell, whose shared
+/// pair sweep is accounted at the sweep level instead).
+void MineCell(const std::vector<ComponentContext>& components, uint32_t k,
+              double r, bool derived, double derive_seconds,
+              const SweepOptions& options, SweepCellResult* out) {
+  out->k = k;
+  out->r = r;
+  out->derived = derived;
+  if (options.mode == SweepMode::kEnumerate) {
+    EnumOptions cell = options.enumerate;
+    cell.k = k;
+    out->enum_result = EnumerateMaximalCores(components, cell);
+  } else {
+    MaxOptions cell = options.maximum;
+    cell.k = k;
+    out->max_result = FindMaximumCore(components, cell);
+  }
+  MiningStats& stats = options.mode == SweepMode::kEnumerate
+                           ? out->enum_result.stats
+                           : out->max_result.stats;
+  stats.prepare_derivations = derived ? 1 : 0;
+  stats.prepare_seconds = derive_seconds;
+  stats.seconds += derive_seconds;
+}
+
+/// Marks a whole cell failed (substrate never materialized).
+void FailCell(uint32_t k, double r, const Status& status,
+              const SweepOptions& options, SweepCellResult* out) {
+  out->k = k;
+  out->r = r;
+  if (options.mode == SweepMode::kEnumerate) {
+    out->enum_result.status = status;
+  } else {
+    out->max_result.status = status;
+  }
+}
+
+/// Runs one cell whose substrate comes from `base`: the base-k cell mines
+/// the cached components in place, higher k derive their own (task-local)
+/// workspace first.
+void RunReusedCell(const PreparedWorkspace& base, uint32_t k, double r,
+                   const SweepOptions& options, SweepCellResult* out) {
+  if (k == base.k) {
+    MineCell(base.components, k, r, /*derived=*/false, 0.0, options, out);
+    return;
+  }
+  Timer timer;
+  PreparedWorkspace derived;
+  Status s = DeriveWorkspace(base, k, BasePipelineOptions(options, k),
+                             &derived);
+  if (!s.ok()) {
+    FailCell(k, r, s, options, out);
+    return;
+  }
+  MineCell(derived.components, k, r, /*derived=*/true, timer.ElapsedSeconds(),
+           options, out);
+}
+
+/// Prepared-base sweep shared by the public entry points: mines one cell
+/// per k into cells_out[i]. With `pool` non-null the cells run as tasks
+/// (base is read-only and outlives the pool's Wait()).
+void SweepGroup(const PreparedWorkspace& base,
+                const std::vector<uint32_t>& ks, double r,
+                const SweepOptions& options, SweepCellResult* cells_out,
+                TaskPool* pool) {
+  for (size_t i = 0; i < ks.size(); ++i) {
+    if (pool != nullptr) {
+      const PreparedWorkspace* base_ptr = &base;
+      uint32_t k = ks[i];
+      SweepCellResult* out = &cells_out[i];
+      const SweepOptions* opts = &options;
+      pool->Submit([base_ptr, k, r, opts, out] {
+        RunReusedCell(*base_ptr, k, r, *opts, out);
+      });
+    } else {
+      RunReusedCell(base, ks[i], r, options, &cells_out[i]);
+    }
+  }
+}
+
+}  // namespace
+
+SweepResult RunParameterSweep(const Graph& g, const SimilarityOracle& oracle,
+                              const SweepGrid& grid,
+                              const SweepOptions& options) {
+  SweepResult result;
+  Timer timer;
+  if (grid.ks.empty() || grid.rs.empty()) {
+    result.status =
+        Status::InvalidArgument("sweep grid needs at least one k and one r");
+    return result;
+  }
+  const uint32_t k_min = *std::min_element(grid.ks.begin(), grid.ks.end());
+  const size_t per_group = grid.ks.size();
+  result.cells.resize(grid.num_cells());
+
+  const uint32_t threads = options.parallel.Resolve();
+  // Bases live here so cell tasks can read them until the pool drains; the
+  // oracles likewise (SimilarityOracle is a value rebound per r).
+  std::vector<PreparedWorkspace> bases(grid.rs.size());
+  std::vector<double> base_seconds(grid.rs.size(), 0.0);
+  std::vector<Status> base_status(grid.rs.size(), Status::OK());
+
+  auto RunGroup = [&](size_t ri, TaskPool* pool) {
+    SweepCellResult* cells = &result.cells[ri * per_group];
+    const double r = grid.rs[ri];
+    if (!options.reuse_preprocessing) {
+      // Baseline: every cell pays its own full Algorithm 1 pass.
+      SimilarityOracle cell_oracle = oracle.WithThreshold(r);
+      for (size_t i = 0; i < per_group; ++i) {
+        const uint32_t k = grid.ks[i];
+        SweepCellResult* out = &cells[i];
+        out->k = k;
+        out->r = r;
+        if (options.mode == SweepMode::kEnumerate) {
+          EnumOptions cell = options.enumerate;
+          cell.k = k;
+          out->enum_result = EnumerateMaximalCores(g, cell_oracle, cell);
+        } else {
+          MaxOptions cell = options.maximum;
+          cell.k = k;
+          out->max_result = FindMaximumCore(g, cell_oracle, cell);
+        }
+      }
+      return;
+    }
+    Timer prepare_timer;
+    SimilarityOracle base_oracle = oracle.WithThreshold(r);
+    base_status[ri] = PrepareWorkspace(g, base_oracle,
+                                       BasePipelineOptions(options, k_min),
+                                       &bases[ri]);
+    base_seconds[ri] = prepare_timer.ElapsedSeconds();
+    if (!base_status[ri].ok()) {
+      for (size_t i = 0; i < per_group; ++i) {
+        FailCell(grid.ks[i], r, base_status[ri], options, &cells[i]);
+      }
+      return;
+    }
+    SweepGroup(bases[ri], grid.ks, r, options, cells, pool);
+  };
+
+  if (threads <= 1) {
+    for (size_t ri = 0; ri < grid.rs.size(); ++ri) RunGroup(ri, nullptr);
+  } else {
+    // Groups — and, transitively, the cells each group fans out — all run
+    // on one shared pool, so a skewed grid (one expensive r, several cheap
+    // ones) still keeps every worker busy.
+    TaskPool pool(threads);
+    for (size_t ri = 0; ri < grid.rs.size(); ++ri) {
+      pool.Submit([&RunGroup, ri, &pool] { RunGroup(ri, &pool); });
+    }
+    pool.Wait();
+  }
+
+  for (size_t ri = 0; ri < grid.rs.size(); ++ri) {
+    result.prepare_seconds += base_seconds[ri];
+  }
+  for (const auto& cell : result.cells) {
+    const MiningStats& stats = cell.stats(options.mode);
+    if (cell.derived) ++result.derived_cells;
+    result.pair_sweeps += stats.prepare_pair_sweeps;
+    result.prepare_seconds += stats.prepare_seconds;
+    if (result.status.ok() && !cell.status(options.mode).ok()) {
+      result.status = cell.status(options.mode);
+    }
+  }
+  if (options.reuse_preprocessing) result.pair_sweeps += grid.rs.size();
+  result.seconds = timer.ElapsedSeconds();
+  return result;
+}
+
+SweepResult SweepPreparedWorkspace(const PreparedWorkspace& base,
+                                   const std::vector<uint32_t>& ks,
+                                   const SweepOptions& options) {
+  SweepResult result;
+  Timer timer;
+  if (ks.empty()) {
+    result.status = Status::InvalidArgument("sweep needs at least one k");
+    return result;
+  }
+  for (uint32_t k : ks) {
+    if (k < base.k) {
+      result.status = Status::InvalidArgument(
+          "k=" + std::to_string(k) + " is below the workspace's k=" +
+          std::to_string(base.k) + "; a prepared substrate only serves "
+          "k' >= k (k-core nesting)");
+      return result;
+    }
+  }
+  result.cells.resize(ks.size());
+
+  const uint32_t threads = options.parallel.Resolve();
+  if (threads <= 1) {
+    SweepGroup(base, ks, base.threshold, options, result.cells.data(),
+               nullptr);
+  } else {
+    TaskPool pool(threads);
+    SweepGroup(base, ks, base.threshold, options, result.cells.data(), &pool);
+    pool.Wait();
+  }
+
+  for (const auto& cell : result.cells) {
+    const MiningStats& stats = cell.stats(options.mode);
+    if (cell.derived) ++result.derived_cells;
+    result.prepare_seconds += stats.prepare_seconds;
+    if (result.status.ok() && !cell.status(options.mode).ok()) {
+      result.status = cell.status(options.mode);
+    }
+  }
+  result.seconds = timer.ElapsedSeconds();
+  return result;
+}
+
+}  // namespace krcore

@@ -183,4 +183,105 @@ Status PrepareComponents(const Graph& g, const SimilarityOracle& oracle,
   return PrepareComponents(g, oracle, options, out, nullptr);
 }
 
+Status PrepareWorkspace(const Graph& g, const SimilarityOracle& oracle,
+                        const PipelineOptions& options, PreparedWorkspace* out,
+                        PreprocessReport* report) {
+  out->components.clear();
+  Status s = PrepareComponents(g, oracle, options, &out->components, report);
+  if (!s.ok()) return s;
+  out->k = options.k;
+  out->threshold = oracle.threshold();
+  out->bitset_min_degree = options.preprocess.bitset_min_degree;
+  return Status::OK();
+}
+
+namespace {
+
+/// Restricts one cached component to the k-core survivors: induced structure
+/// graph, parent ids composed through the cache, and dissimilarity rows
+/// copied (not re-evaluated) from the cached index.
+void DeriveComponent(const ComponentContext& base,
+                     const std::vector<VertexId>& keep,
+                     std::vector<VertexId>* remap, uint32_t bitset_min_degree,
+                     ComponentContext* out) {
+  auto induced = BuildInducedSubgraph(base.graph, keep);
+  out->graph = std::move(induced.graph);
+  out->to_parent.resize(keep.size());
+  for (size_t i = 0; i < keep.size(); ++i) {
+    out->to_parent[i] = base.to_parent[induced.to_parent[i]];
+    (*remap)[induced.to_parent[i]] = static_cast<VertexId>(i);
+  }
+  DissimilarityIndex::Builder builder(static_cast<VertexId>(keep.size()));
+  for (size_t i = 0; i < keep.size(); ++i) {
+    const VertexId old_u = induced.to_parent[i];
+    for (VertexId old_v : base.dissimilar[old_u]) {
+      if (old_v <= old_u) continue;  // each unordered pair once
+      const VertexId new_v = (*remap)[old_v];
+      if (new_v != kInvalidVertex) {
+        builder.AddPair(static_cast<VertexId>(i), new_v);
+      }
+    }
+  }
+  out->dissimilar = builder.Build(bitset_min_degree);
+  // Reset only the slots this component touched so the scratch is reusable.
+  for (VertexId v : induced.to_parent) (*remap)[v] = kInvalidVertex;
+}
+
+}  // namespace
+
+Status DeriveWorkspace(const PreparedWorkspace& base, uint32_t k,
+                       const PipelineOptions& options, PreparedWorkspace* out,
+                       PreprocessReport* report) {
+  Timer timer;
+  out->components.clear();
+  if (k < base.k) {
+    return Status::InvalidArgument(
+        "cannot derive a lower k from a prepared workspace (the k-core at "
+        "k' < k is a supergraph of the cached one); re-run PrepareWorkspace");
+  }
+  out->k = k;
+  out->threshold = base.threshold;
+  out->bitset_min_degree = base.bitset_min_degree;
+
+  for (const auto& comp : base.components) {
+    if (options.deadline.Expired()) {
+      out->components.clear();
+      return Status::DeadlineExceeded(
+          "budget expired while deriving the k-core workspace");
+    }
+    std::vector<VertexId> core = KCoreVertices(comp.graph, k);
+    if (core.empty()) continue;
+    auto locals = ComponentsOfSubset(comp.graph, core);
+    std::vector<VertexId> remap(comp.size(), kInvalidVertex);
+    for (const auto& keep : locals) {
+      ComponentContext derived;
+      DeriveComponent(comp, keep, &remap, base.bitset_min_degree, &derived);
+      out->components.push_back(std::move(derived));
+    }
+  }
+
+  if (options.order_by_max_degree) {
+    std::stable_sort(out->components.begin(), out->components.end(),
+                     [](const ComponentContext& a, const ComponentContext& b) {
+                       return a.graph.max_degree() > b.graph.max_degree();
+                     });
+  }
+
+  if (report != nullptr) {
+    *report = PreprocessReport{};
+    report->components = out->components.size();
+    for (const auto& ctx : out->components) {
+      report->vertices += ctx.size();
+      report->edges += ctx.graph.num_edges();
+      report->dissimilar_pairs += ctx.num_dissimilar_pairs();
+      report->index_bytes += ctx.dissimilar.MemoryBytes();
+      report->bitset_rows += ctx.dissimilar.bitset_rows();
+    }
+    // pairs_evaluated stays 0: derivation never consults the oracle.
+    report->peak_bytes = report->index_bytes;
+    report->seconds = timer.ElapsedSeconds();
+  }
+  return Status::OK();
+}
+
 }  // namespace krcore

@@ -67,6 +67,52 @@ Status PrepareComponents(const Graph& g, const SimilarityOracle& oracle,
                          const PipelineOptions& options,
                          std::vector<ComponentContext>* out);
 
+/// The full PrepareComponents output bundled with its identity — the (k, r)
+/// pair it was prepared for. This is the unit the snapshot layer serializes
+/// (src/snapshot/workspace_snapshot.h) and the parameter-sweep engine caches:
+/// both answer mining calls without re-running the O(n^2) similarity sweep.
+///
+/// A workspace prepared at (k, r) also serves any query at (k' >= k, r):
+/// the k'-core of the similarity-filtered graph is contained in the k-core,
+/// so components at k' are induced sub-components of the cached ones
+/// (DeriveWorkspace), and their dissimilarity rows are restrictions of the
+/// cached rows — no oracle calls needed.
+struct PreparedWorkspace {
+  /// The k the components were extracted at (queries need k' >= k).
+  uint32_t k = 0;
+  /// The similarity threshold r baked into the substrate (both the edge
+  /// filter and the dissimilarity rows); only exact-r queries are valid.
+  double threshold = 0.0;
+  /// bitset_min_degree the indexes were built with; kept so snapshot
+  /// round-trips rebuild byte-identical hybrid bitsets.
+  uint32_t bitset_min_degree = DissimilarityIndex::kDefaultBitsetMinDegree;
+  std::vector<ComponentContext> components;
+
+  VertexId num_vertices() const {
+    VertexId n = 0;
+    for (const auto& c : components) n += c.size();
+    return n;
+  }
+};
+
+/// PrepareComponents + identity stamping: prepares a workspace for
+/// (options.k, oracle.threshold()) that can be saved, cached, and served.
+Status PrepareWorkspace(const Graph& g, const SimilarityOracle& oracle,
+                        const PipelineOptions& options, PreparedWorkspace* out,
+                        PreprocessReport* report = nullptr);
+
+/// Derives the workspace at `k` >= base.k from `base` purely structurally
+/// (k-core nesting, Sec 4.1): per cached component, re-peel the k-core,
+/// split into components, and restrict the cached dissimilarity rows to the
+/// survivors. Runs zero similarity-oracle calls — this is what makes a
+/// (k,r) sweep over one prepared substrate cheap. Components are re-sorted
+/// with the same max-degree-first rule PrepareComponents applies, and
+/// `report` (optional) accounts the derived substrate. Fails with
+/// InvalidArgument when k < base.k.
+Status DeriveWorkspace(const PreparedWorkspace& base, uint32_t k,
+                       const PipelineOptions& options, PreparedWorkspace* out,
+                       PreprocessReport* report = nullptr);
+
 }  // namespace krcore
 
 #endif  // KRCORE_CORE_PIPELINE_H_

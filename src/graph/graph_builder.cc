@@ -45,7 +45,8 @@ Graph GraphBuilder::Build() const {
     neighbors[cursor[v]++] = u;
   }
   for (VertexId u = 0; u < num_vertices_; ++u) {
-    std::sort(neighbors.begin() + offsets[u], neighbors.begin() + offsets[u + 1]);
+    std::sort(neighbors.begin() + offsets[u],
+              neighbors.begin() + offsets[u + 1]);
   }
   return Graph(std::move(offsets), std::move(neighbors));
 }

@@ -28,6 +28,8 @@
 #include "core/maximum.h"
 #include "core/naive_enum.h"
 #include "core/parallel.h"
+#include "core/parameter_sweep.h"
+#include "core/pipeline.h"
 #include "core/preprocess_options.h"
 #include "core/verify.h"
 #include "datasets/generators.h"
@@ -40,6 +42,7 @@
 #include "similarity/metrics.h"
 #include "similarity/similarity_oracle.h"
 #include "similarity/threshold.h"
+#include "snapshot/workspace_snapshot.h"
 #include "util/status.h"
 #include "util/timer.h"
 

@@ -1,0 +1,310 @@
+#include "snapshot/workspace_snapshot.h"
+
+#include <algorithm>
+#include <cstring>
+#include <fstream>
+#include <vector>
+
+#include "core/dissimilarity_index.h"
+#include "graph/graph.h"
+
+namespace krcore {
+namespace {
+
+constexpr uint32_t kMetaSection = 1;
+constexpr uint32_t kComponentSection = 2;
+
+uint64_t Fnv1a64(const char* data, size_t len) {
+  uint64_t h = 1469598103934665603ull;
+  for (size_t i = 0; i < len; ++i) {
+    h ^= static_cast<unsigned char>(data[i]);
+    h *= 1099511628211ull;
+  }
+  return h;
+}
+
+/// Append-only little-endian payload buffer for one section.
+class PayloadWriter {
+ public:
+  void PutU32(uint32_t v) { PutRaw(&v, sizeof(v)); }
+  void PutU64(uint64_t v) { PutRaw(&v, sizeof(v)); }
+  void PutDouble(double v) { PutRaw(&v, sizeof(v)); }
+
+  const std::string& bytes() const { return bytes_; }
+
+ private:
+  void PutRaw(const void* p, size_t n) {
+    bytes_.append(static_cast<const char*>(p), n);
+  }
+  std::string bytes_;
+};
+
+/// Sequential little-endian reader over one section's payload; every Get
+/// checks the remaining length so a short payload reads as failure, not as
+/// out-of-bounds access.
+class PayloadReader {
+ public:
+  explicit PayloadReader(const std::string& bytes) : bytes_(bytes) {}
+
+  bool GetU32(uint32_t* v) { return GetRaw(v, sizeof(*v)); }
+  bool GetU64(uint64_t* v) { return GetRaw(v, sizeof(*v)); }
+  bool GetDouble(double* v) { return GetRaw(v, sizeof(*v)); }
+  bool exhausted() const { return pos_ == bytes_.size(); }
+
+ private:
+  bool GetRaw(void* p, size_t n) {
+    if (bytes_.size() - pos_ < n) return false;
+    std::memcpy(p, bytes_.data() + pos_, n);
+    pos_ += n;
+    return true;
+  }
+  const std::string& bytes_;
+  size_t pos_ = 0;
+};
+
+void WriteSection(std::ofstream& out, uint32_t tag,
+                  const std::string& payload) {
+  uint64_t size = payload.size();
+  uint64_t checksum = Fnv1a64(payload.data(), payload.size());
+  out.write(reinterpret_cast<const char*>(&tag), sizeof(tag));
+  out.write(reinterpret_cast<const char*>(&size), sizeof(size));
+  out.write(payload.data(), static_cast<std::streamsize>(payload.size()));
+  out.write(reinterpret_cast<const char*>(&checksum), sizeof(checksum));
+}
+
+std::string ComponentPayload(const ComponentContext& ctx) {
+  PayloadWriter w;
+  const VertexId n = ctx.size();
+  w.PutU32(n);
+  w.PutU64(ctx.graph.num_edges());
+  for (VertexId u = 0; u < n; ++u) {
+    for (VertexId v : ctx.graph.neighbors(u)) w.PutU32(v);
+  }
+  // Adjacency offsets are implied by per-row degrees; store the degrees so
+  // the CSR can be rebuilt without a second pass over the neighbor array.
+  for (VertexId u = 0; u < n; ++u) w.PutU32(ctx.graph.degree(u));
+  for (VertexId u = 0; u < n; ++u) w.PutU32(ctx.to_parent[u]);
+  // Dissimilar pairs, upper triangle only, in (row, id) order — sorted and
+  // unique by construction, which the loader re-checks.
+  w.PutU64(ctx.num_dissimilar_pairs());
+  for (VertexId u = 0; u < n; ++u) {
+    for (VertexId v : ctx.dissimilar[u]) {
+      if (v > u) {
+        w.PutU32(u);
+        w.PutU32(v);
+      }
+    }
+  }
+  return w.bytes();
+}
+
+Status Corrupt(const std::string& what) {
+  return Status::InvalidArgument("corrupt workspace snapshot: " + what);
+}
+
+/// Reads one section envelope. `remaining` is the byte count left in the
+/// file, so an absurd payload_size in a corrupt header fails before any
+/// allocation of that size is attempted.
+Status ReadSection(std::ifstream& in, uint64_t* remaining, uint32_t* tag,
+                   std::string* payload) {
+  uint64_t size = 0;
+  uint64_t checksum = 0;
+  if (*remaining < sizeof(*tag) + sizeof(size)) {
+    return Corrupt("truncated section header");
+  }
+  in.read(reinterpret_cast<char*>(tag), sizeof(*tag));
+  in.read(reinterpret_cast<char*>(&size), sizeof(size));
+  *remaining -= sizeof(*tag) + sizeof(size);
+  if (!in.good()) return Corrupt("truncated section header");
+  if (size > *remaining) return Corrupt("section overruns the file");
+  payload->resize(size);
+  in.read(payload->data(), static_cast<std::streamsize>(size));
+  *remaining -= size;
+  if (*remaining < sizeof(checksum)) return Corrupt("truncated checksum");
+  in.read(reinterpret_cast<char*>(&checksum), sizeof(checksum));
+  *remaining -= sizeof(checksum);
+  if (!in.good()) return Corrupt("truncated section payload");
+  if (Fnv1a64(payload->data(), payload->size()) != checksum) {
+    return Corrupt("section checksum mismatch");
+  }
+  return Status::OK();
+}
+
+Status ParseComponent(const std::string& payload, uint32_t bitset_min_degree,
+                      ComponentContext* ctx) {
+  PayloadReader r(payload);
+  uint32_t n = 0;
+  uint64_t num_edges = 0;
+  if (!r.GetU32(&n) || !r.GetU64(&num_edges)) {
+    return Corrupt("short component header");
+  }
+  // The fixed-size payload must account exactly for the arrays it declares;
+  // this also bounds every allocation below by the (already checksummed)
+  // payload size. Checked divide-first so a hostile count cannot overflow
+  // the expected-size arithmetic and sneak past as a tiny value.
+  if (num_edges > payload.size() / 8 || n > payload.size() / 4) {
+    return Corrupt("declared counts exceed the payload");
+  }
+  const uint64_t directed = 2 * num_edges;
+  uint64_t expected = 4 + 8 + 4 * directed + 4 * uint64_t{n} * 2 + 8;
+  if (payload.size() < expected) return Corrupt("short component payload");
+
+  std::vector<VertexId> neighbors(directed);
+  for (uint64_t i = 0; i < directed; ++i) {
+    if (!r.GetU32(&neighbors[i])) return Corrupt("short neighbor array");
+    if (neighbors[i] >= n) return Corrupt("neighbor id out of range");
+  }
+  std::vector<EdgeId> offsets(uint64_t{n} + 1, 0);
+  for (uint32_t u = 0; u < n; ++u) {
+    uint32_t deg = 0;
+    if (!r.GetU32(&deg)) return Corrupt("short degree array");
+    offsets[u + 1] = offsets[u] + deg;
+  }
+  if (offsets[n] != directed) return Corrupt("degree sum != edge count");
+  for (uint32_t u = 0; u < n; ++u) {
+    for (EdgeId i = offsets[u]; i + 1 < offsets[u + 1]; ++i) {
+      if (neighbors[i] >= neighbors[i + 1]) {
+        return Corrupt("adjacency row not strictly sorted");
+      }
+    }
+    for (EdgeId i = offsets[u]; i < offsets[u + 1]; ++i) {
+      if (neighbors[i] == u) return Corrupt("self loop");
+    }
+  }
+  ctx->to_parent.resize(n);
+  for (uint32_t u = 0; u < n; ++u) {
+    if (!r.GetU32(&ctx->to_parent[u])) return Corrupt("short to_parent");
+  }
+
+  uint64_t num_pairs = 0;
+  if (!r.GetU64(&num_pairs)) return Corrupt("short pair count");
+  if (payload.size() != expected + 8 * num_pairs) {
+    return Corrupt("component payload size mismatch");
+  }
+  DissimilarityIndex::Builder builder(n);
+  uint64_t prev = 0;
+  for (uint64_t i = 0; i < num_pairs; ++i) {
+    uint32_t a = 0, b = 0;
+    if (!r.GetU32(&a) || !r.GetU32(&b)) return Corrupt("short pair array");
+    if (a >= b || b >= n) return Corrupt("dissimilar pair out of range");
+    uint64_t packed = (uint64_t{a} << 32) | b;
+    if (i > 0 && packed <= prev) {
+      return Corrupt("dissimilar pairs not sorted unique");
+    }
+    prev = packed;
+    builder.AddPair(a, b);
+  }
+  if (!r.exhausted()) return Corrupt("trailing bytes in component");
+
+  // All invariants the Graph constructor CHECKs are now established, so the
+  // construction below cannot abort. Edge symmetry is verified afterwards
+  // via the binary-search probe the built graph provides — every directed
+  // entry must have its reverse, or a row listing a partner that does not
+  // list it back would slip through.
+  ctx->graph = Graph(std::move(offsets), std::move(neighbors));
+  for (VertexId u = 0; u < ctx->graph.num_vertices(); ++u) {
+    for (VertexId v : ctx->graph.neighbors(u)) {
+      if (!ctx->graph.HasEdge(v, u)) {
+        return Corrupt("asymmetric adjacency");
+      }
+    }
+  }
+  ctx->dissimilar = builder.Build(bitset_min_degree);
+  return Status::OK();
+}
+
+}  // namespace
+
+Status SaveWorkspaceSnapshot(const PreparedWorkspace& ws,
+                             const std::string& path) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) return Status::NotFound("cannot open for write: " + path);
+  out.write(kSnapshotMagic, sizeof(kSnapshotMagic));
+  uint32_t version = kSnapshotVersion;
+  out.write(reinterpret_cast<const char*>(&version), sizeof(version));
+
+  PayloadWriter meta;
+  meta.PutU32(ws.k);
+  meta.PutDouble(ws.threshold);
+  meta.PutU32(ws.bitset_min_degree);
+  meta.PutU64(ws.components.size());
+  WriteSection(out, kMetaSection, meta.bytes());
+  for (const auto& ctx : ws.components) {
+    WriteSection(out, kComponentSection, ComponentPayload(ctx));
+  }
+  out.flush();
+  return out.good() ? Status::OK()
+                    : Status::Internal("snapshot write failed: " + path);
+}
+
+Status LoadWorkspaceSnapshot(const std::string& path, PreparedWorkspace* out) {
+  *out = PreparedWorkspace{};
+  out->components.clear();
+  std::ifstream in(path, std::ios::binary | std::ios::ate);
+  if (!in) return Status::NotFound("cannot open for read: " + path);
+  uint64_t remaining = static_cast<uint64_t>(in.tellg());
+  in.seekg(0);
+
+  char magic[sizeof(kSnapshotMagic)];
+  uint32_t version = 0;
+  if (remaining < sizeof(magic) + sizeof(version)) {
+    return Corrupt("file shorter than the header");
+  }
+  in.read(magic, sizeof(magic));
+  if (!in.good() || std::memcmp(magic, kSnapshotMagic, sizeof(magic)) != 0) {
+    return Status::InvalidArgument(
+        "not a krcore workspace snapshot (bad magic): " + path);
+  }
+  in.read(reinterpret_cast<char*>(&version), sizeof(version));
+  remaining -= sizeof(magic) + sizeof(version);
+  if (!in.good()) return Corrupt("file shorter than the header");
+  if (version != kSnapshotVersion) {
+    return Status::InvalidArgument(
+        "unsupported snapshot version " + std::to_string(version) +
+        " (this build reads version " + std::to_string(kSnapshotVersion) +
+        ")");
+  }
+
+  uint32_t tag = 0;
+  std::string payload;
+  Status s = ReadSection(in, &remaining, &tag, &payload);
+  if (!s.ok()) return s;
+  if (tag != kMetaSection) return Corrupt("first section is not meta");
+  uint64_t num_components = 0;
+  {
+    PayloadReader r(payload);
+    if (!r.GetU32(&out->k) || !r.GetDouble(&out->threshold) ||
+        !r.GetU32(&out->bitset_min_degree) || !r.GetU64(&num_components) ||
+        !r.exhausted()) {
+      return Corrupt("malformed meta section");
+    }
+  }
+
+  out->components.reserve(
+      static_cast<size_t>(std::min<uint64_t>(num_components, 1 << 20)));
+  for (uint64_t i = 0; i < num_components; ++i) {
+    s = ReadSection(in, &remaining, &tag, &payload);
+    if (!s.ok()) {
+      out->components.clear();
+      return s;
+    }
+    if (tag != kComponentSection) {
+      out->components.clear();
+      return Corrupt("unexpected section tag");
+    }
+    ComponentContext ctx;
+    s = ParseComponent(payload, out->bitset_min_degree, &ctx);
+    if (!s.ok()) {
+      out->components.clear();
+      return s;
+    }
+    out->components.push_back(std::move(ctx));
+  }
+  if (remaining != 0) {
+    out->components.clear();
+    return Corrupt("trailing bytes after the last section");
+  }
+  return Status::OK();
+}
+
+}  // namespace krcore

@@ -1,0 +1,60 @@
+#ifndef KRCORE_SNAPSHOT_WORKSPACE_SNAPSHOT_H_
+#define KRCORE_SNAPSHOT_WORKSPACE_SNAPSHOT_H_
+
+#include <cstdint>
+#include <string>
+
+#include "core/pipeline.h"
+#include "util/status.h"
+
+namespace krcore {
+
+/// Versioned binary serialization of a PreparedWorkspace — the full
+/// Algorithm 1 preprocessing output (component structure graphs, to_parent
+/// maps, flat CSR dissimilarity rows) plus its (k, r) identity. Saving the
+/// workspace once turns every later (k' >= k, r) mining call into a pure
+/// search: load, optionally DeriveWorkspace, mine — no oracle, no O(n^2)
+/// pair sweep, not even the attribute table.
+///
+/// File layout (little-endian, the only byte order the engine targets):
+///
+///   magic   "KRWSNAP1"                        8 bytes
+///   version u32                               (kSnapshotVersion)
+///   sections, each:
+///     tag          u32   (1 = meta, 2 = component)
+///     payload_size u64
+///     payload      payload_size bytes
+///     checksum     u64   FNV-1a 64 over the payload
+///
+/// Exactly one meta section comes first (k, threshold, bitset_min_degree,
+/// component count); one component section follows per component, in
+/// workspace order. Every structural invariant the engine relies on (CSR
+/// monotonicity, sorted adjacency, symmetric edges, in-range ids, sorted
+/// unique dissimilar pairs) is re-validated on load, so a corrupt or
+/// truncated file yields a clean Status error — never UB: wrong magic,
+/// unknown version, short reads, and checksum mismatches each produce a
+/// distinct InvalidArgument message.
+///
+/// Round trips are lossless: the loaded workspace's components are
+/// structurally identical to the saved ones (the dissimilarity bitset
+/// acceleration is rebuilt deterministically from the stored rows and the
+/// stored bitset_min_degree), so mining results match fresh preprocessing
+/// byte for byte.
+
+inline constexpr char kSnapshotMagic[8] = {'K', 'R', 'W', 'S',
+                                           'N', 'A', 'P', '1'};
+inline constexpr uint32_t kSnapshotVersion = 1;
+
+/// Serializes `ws` to `path` (overwriting). Fails with NotFound when the
+/// file cannot be opened and Internal on a short write.
+Status SaveWorkspaceSnapshot(const PreparedWorkspace& ws,
+                             const std::string& path);
+
+/// Reads a snapshot written by SaveWorkspaceSnapshot, validating magic,
+/// version, section checksums and every structural invariant. On any error
+/// `*out` is left empty.
+Status LoadWorkspaceSnapshot(const std::string& path, PreparedWorkspace* out);
+
+}  // namespace krcore
+
+#endif  // KRCORE_SNAPSHOT_WORKSPACE_SNAPSHOT_H_

@@ -36,7 +36,8 @@ std::string OptionParser::GetString(const std::string& name,
 
 int64_t OptionParser::GetInt(const std::string& name, int64_t def) const {
   auto it = values_.find(name);
-  return it == values_.end() ? def : std::strtoll(it->second.c_str(), nullptr, 10);
+  return it == values_.end() ? def
+                             : std::strtoll(it->second.c_str(), nullptr, 10);
 }
 
 double OptionParser::GetDouble(const std::string& name, double def) const {

@@ -16,8 +16,8 @@ TEST(Pipeline, KIsRequiredPositive) {
   PipelineOptions opts;
   opts.k = 0;
   std::vector<ComponentContext> comps;
-  EXPECT_TRUE(
-      PrepareComponents(fixture.graph, oracle, opts, &comps).IsInvalidArgument());
+  EXPECT_TRUE(PrepareComponents(fixture.graph, oracle, opts, &comps)
+                  .IsInvalidArgument());
 }
 
 TEST(Pipeline, TriangleSurvivesK2) {

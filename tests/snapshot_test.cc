@@ -1,0 +1,269 @@
+#include "snapshot/workspace_snapshot.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "core/enumerate.h"
+#include "core/maximum.h"
+#include "core/pipeline.h"
+#include "test_helpers.h"
+
+namespace krcore {
+namespace {
+
+/// A temp file path that cleans up after the test.
+class TempFile {
+ public:
+  explicit TempFile(const std::string& name)
+      : path_(::testing::TempDir() + name) {}
+  ~TempFile() { std::remove(path_.c_str()); }
+  const std::string& path() const { return path_; }
+
+ private:
+  std::string path_;
+};
+
+std::string ReadAll(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  return std::string(std::istreambuf_iterator<char>(in),
+                     std::istreambuf_iterator<char>());
+}
+
+void WriteAll(const std::string& path, const std::string& bytes) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+}
+
+PreparedWorkspace PrepareFixture(const Dataset& dataset, uint32_t k,
+                                 double r) {
+  SimilarityOracle oracle(&dataset.attributes, dataset.metric, r);
+  PipelineOptions opts;
+  opts.k = k;
+  PreparedWorkspace ws;
+  EXPECT_TRUE(PrepareWorkspace(dataset.graph, oracle, opts, &ws).ok());
+  return ws;
+}
+
+void ExpectComponentsEqual(const std::vector<ComponentContext>& a,
+                           const std::vector<ComponentContext>& b) {
+  ASSERT_EQ(a.size(), b.size());
+  for (size_t i = 0; i < a.size(); ++i) {
+    ASSERT_EQ(a[i].size(), b[i].size());
+    EXPECT_EQ(a[i].to_parent, b[i].to_parent);
+    ASSERT_EQ(a[i].graph.num_edges(), b[i].graph.num_edges());
+    EXPECT_EQ(a[i].num_dissimilar_pairs(), b[i].num_dissimilar_pairs());
+    EXPECT_EQ(a[i].dissimilar.bitset_rows(), b[i].dissimilar.bitset_rows());
+    for (VertexId u = 0; u < a[i].size(); ++u) {
+      auto an = a[i].graph.neighbors(u);
+      auto bn = b[i].graph.neighbors(u);
+      ASSERT_TRUE(std::equal(an.begin(), an.end(), bn.begin(), bn.end()));
+      auto ad = a[i].dissimilar[u];
+      auto bd = b[i].dissimilar[u];
+      ASSERT_TRUE(std::equal(ad.begin(), ad.end(), bd.begin(), bd.end()));
+    }
+  }
+}
+
+TEST(Snapshot, RoundTripIsLossless) {
+  auto dataset = test::MakeRandomGeo(120, 700, 11);
+  PreparedWorkspace ws = PrepareFixture(dataset, 3, 0.35);
+  ASSERT_FALSE(ws.components.empty());
+
+  TempFile file("roundtrip.krws");
+  ASSERT_TRUE(SaveWorkspaceSnapshot(ws, file.path()).ok());
+  PreparedWorkspace loaded;
+  ASSERT_TRUE(LoadWorkspaceSnapshot(file.path(), &loaded).ok());
+
+  EXPECT_EQ(loaded.k, ws.k);
+  EXPECT_DOUBLE_EQ(loaded.threshold, ws.threshold);
+  EXPECT_EQ(loaded.bitset_min_degree, ws.bitset_min_degree);
+  ExpectComponentsEqual(ws.components, loaded.components);
+}
+
+TEST(Snapshot, MiningFromLoadedSnapshotMatchesFreshPreprocessing) {
+  auto dataset = test::MakeRandomGeo(150, 900, 5);
+  SimilarityOracle oracle(&dataset.attributes, dataset.metric, 0.3);
+  const uint32_t k = 3;
+
+  PreparedWorkspace ws = PrepareFixture(dataset, k, 0.3);
+  TempFile file("mine.krws");
+  ASSERT_TRUE(SaveWorkspaceSnapshot(ws, file.path()).ok());
+  PreparedWorkspace loaded;
+  ASSERT_TRUE(LoadWorkspaceSnapshot(file.path(), &loaded).ok());
+
+  auto fresh = EnumerateMaximalCores(dataset.graph, oracle, AdvEnumOptions(k));
+  auto served = EnumerateMaximalCores(loaded.components, AdvEnumOptions(k));
+  ASSERT_TRUE(fresh.status.ok());
+  ASSERT_TRUE(served.status.ok());
+  EXPECT_EQ(fresh.cores, served.cores);
+  EXPECT_EQ(fresh.stats.prepare_pair_sweeps, 1u);
+  EXPECT_EQ(served.stats.prepare_pair_sweeps, 0u);
+
+  auto fresh_max = FindMaximumCore(dataset.graph, oracle, AdvMaxOptions(k));
+  auto served_max = FindMaximumCore(loaded.components, AdvMaxOptions(k));
+  ASSERT_TRUE(fresh_max.status.ok());
+  ASSERT_TRUE(served_max.status.ok());
+  EXPECT_EQ(fresh_max.best, served_max.best);
+}
+
+TEST(Snapshot, EmptyWorkspaceRoundTrips) {
+  PreparedWorkspace ws;
+  ws.k = 7;
+  ws.threshold = 2.5;
+  TempFile file("empty.krws");
+  ASSERT_TRUE(SaveWorkspaceSnapshot(ws, file.path()).ok());
+  PreparedWorkspace loaded;
+  ASSERT_TRUE(LoadWorkspaceSnapshot(file.path(), &loaded).ok());
+  EXPECT_EQ(loaded.k, 7u);
+  EXPECT_DOUBLE_EQ(loaded.threshold, 2.5);
+  EXPECT_TRUE(loaded.components.empty());
+}
+
+TEST(Snapshot, MissingFileIsNotFound) {
+  PreparedWorkspace loaded;
+  EXPECT_EQ(
+      LoadWorkspaceSnapshot("/nonexistent/dir/x.krws", &loaded).code(),
+      StatusCode::kNotFound);
+}
+
+TEST(Snapshot, WrongMagicIsRejected) {
+  TempFile file("magic.krws");
+  WriteAll(file.path(), "DEFINITELY NOT A SNAPSHOT FILE................");
+  PreparedWorkspace loaded;
+  Status s = LoadWorkspaceSnapshot(file.path(), &loaded);
+  EXPECT_TRUE(s.IsInvalidArgument());
+  EXPECT_NE(s.message().find("magic"), std::string::npos);
+  EXPECT_TRUE(loaded.components.empty());
+}
+
+TEST(Snapshot, UnsupportedVersionIsRejected) {
+  auto dataset = test::MakeRandomGeo(40, 150, 3);
+  PreparedWorkspace ws = PrepareFixture(dataset, 2, 0.4);
+  TempFile file("version.krws");
+  ASSERT_TRUE(SaveWorkspaceSnapshot(ws, file.path()).ok());
+  std::string bytes = ReadAll(file.path());
+  bytes[8] = char(0xEE);  // version u32 follows the 8-byte magic
+  WriteAll(file.path(), bytes);
+  PreparedWorkspace loaded;
+  Status s = LoadWorkspaceSnapshot(file.path(), &loaded);
+  EXPECT_TRUE(s.IsInvalidArgument());
+  EXPECT_NE(s.message().find("version"), std::string::npos);
+}
+
+TEST(Snapshot, TruncationAnywhereIsCleanError) {
+  auto dataset = test::MakeRandomGeo(60, 260, 4);
+  PreparedWorkspace ws = PrepareFixture(dataset, 2, 0.4);
+  TempFile file("trunc.krws");
+  ASSERT_TRUE(SaveWorkspaceSnapshot(ws, file.path()).ok());
+  const std::string bytes = ReadAll(file.path());
+  ASSERT_GT(bytes.size(), 64u);
+  // Cut at a spread of prefix lengths covering the header, the meta
+  // section, and mid-component payloads. Every cut must fail cleanly (and
+  // never crash — the ASan CI job leans on this test).
+  for (size_t len : {size_t{0}, size_t{4}, size_t{11}, size_t{16},
+                     size_t{30}, bytes.size() / 4, bytes.size() / 2,
+                     bytes.size() - 9, bytes.size() - 1}) {
+    WriteAll(file.path(), bytes.substr(0, len));
+    PreparedWorkspace loaded;
+    Status s = LoadWorkspaceSnapshot(file.path(), &loaded);
+    EXPECT_TRUE(s.IsInvalidArgument()) << "prefix length " << len;
+    EXPECT_TRUE(loaded.components.empty()) << "prefix length " << len;
+  }
+}
+
+TEST(Snapshot, BitFlipFailsChecksum) {
+  auto dataset = test::MakeRandomGeo(60, 260, 8);
+  PreparedWorkspace ws = PrepareFixture(dataset, 2, 0.4);
+  TempFile file("flip.krws");
+  ASSERT_TRUE(SaveWorkspaceSnapshot(ws, file.path()).ok());
+  const std::string bytes = ReadAll(file.path());
+  // Flip one byte inside every 64-byte window past the version field: each
+  // flip must be caught (checksum mismatch) or rejected by a structural
+  // check; which one depends on whether it hits a payload or an envelope.
+  for (size_t pos = 13; pos < bytes.size(); pos += 64) {
+    std::string mutated = bytes;
+    mutated[pos] = static_cast<char>(mutated[pos] ^ 0x40);
+    WriteAll(file.path(), mutated);
+    PreparedWorkspace loaded;
+    Status s = LoadWorkspaceSnapshot(file.path(), &loaded);
+    EXPECT_FALSE(s.ok()) << "flipped byte at " << pos;
+    EXPECT_TRUE(loaded.components.empty()) << "flipped byte at " << pos;
+  }
+}
+
+TEST(Snapshot, AsymmetricAdjacencyIsRejected) {
+  // Hand-crafted component with valid envelope checksums whose adjacency
+  // violates the symmetry invariant only in the direction the loader must
+  // probe explicitly: rows {0: [], 1: [0], 2: [0]} — every row is sorted,
+  // in-range, and self-loop free, so only the reverse-edge probe can catch
+  // it.
+  auto PutU32 = [](std::string* s, uint32_t v) {
+    s->append(reinterpret_cast<const char*>(&v), sizeof(v));
+  };
+  auto PutU64 = [](std::string* s, uint64_t v) {
+    s->append(reinterpret_cast<const char*>(&v), sizeof(v));
+  };
+  auto Fnv = [](const std::string& s) {
+    uint64_t h = 1469598103934665603ull;
+    for (char c : s) {
+      h ^= static_cast<unsigned char>(c);
+      h *= 1099511628211ull;
+    }
+    return h;
+  };
+  auto PutSection = [&](std::string* out, uint32_t tag,
+                        const std::string& payload) {
+    PutU32(out, tag);
+    PutU64(out, payload.size());
+    out->append(payload);
+    PutU64(out, Fnv(payload));
+  };
+
+  std::string meta;
+  PutU32(&meta, 2);  // k
+  double threshold = 1.0;
+  meta.append(reinterpret_cast<const char*>(&threshold), sizeof(threshold));
+  PutU32(&meta, DissimilarityIndex::kDefaultBitsetMinDegree);
+  PutU64(&meta, 1);  // one component
+
+  std::string comp;
+  PutU32(&comp, 3);  // n
+  PutU64(&comp, 1);  // num_edges => 2 directed entries
+  PutU32(&comp, 0);  // row 1: [0]
+  PutU32(&comp, 0);  // row 2: [0]
+  PutU32(&comp, 0);  // degrees: 0, 1, 1
+  PutU32(&comp, 1);
+  PutU32(&comp, 1);
+  for (uint32_t u = 0; u < 3; ++u) PutU32(&comp, u);  // to_parent
+  PutU64(&comp, 0);                                   // no dissimilar pairs
+
+  std::string bytes(kSnapshotMagic, sizeof(kSnapshotMagic));
+  PutU32(&bytes, kSnapshotVersion);
+  PutSection(&bytes, 1, meta);
+  PutSection(&bytes, 2, comp);
+
+  TempFile file("asym.krws");
+  WriteAll(file.path(), bytes);
+  PreparedWorkspace loaded;
+  Status s = LoadWorkspaceSnapshot(file.path(), &loaded);
+  EXPECT_TRUE(s.IsInvalidArgument());
+  EXPECT_NE(s.message().find("asymmetric"), std::string::npos)
+      << s.ToString();
+}
+
+TEST(Snapshot, TrailingGarbageIsRejected) {
+  auto dataset = test::MakeRandomGeo(40, 150, 6);
+  PreparedWorkspace ws = PrepareFixture(dataset, 2, 0.4);
+  TempFile file("trail.krws");
+  ASSERT_TRUE(SaveWorkspaceSnapshot(ws, file.path()).ok());
+  WriteAll(file.path(), ReadAll(file.path()) + "extra");
+  PreparedWorkspace loaded;
+  EXPECT_TRUE(LoadWorkspaceSnapshot(file.path(), &loaded).IsInvalidArgument());
+}
+
+}  // namespace
+}  // namespace krcore
