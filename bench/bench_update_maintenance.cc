@@ -1,0 +1,210 @@
+// Measures incremental workspace maintenance under edge churn: a prepared
+// workspace kept current by ApplyEdgeUpdates (peel/repair + cached-row
+// restriction, core/workspace_update.h) versus rebuilding the workspace
+// from scratch for every batch — the only option a static-snapshot pipeline
+// has when the graph changes.
+//
+//   UpdateMine   per batch: ApplyEdgeUpdates on the maintained workspace,
+//                then mine it (seconds = apply + mine).
+//   RebuildMine  per batch: PrepareWorkspace on the updated graph (full
+//                edge filter + k-core + O(n_c^2) pair sweep), then mine
+//                (seconds = prepare + mine).
+//
+// Both arms replay the identical update stream and their mining results are
+// verified equal every batch. The "Speedup" series at x=total records
+// rebuild_total / update_total; the acceptance bar is >= 2x on small
+// batches, where the pair sweep dominates a rebuild but the dirty region —
+// and therefore the incremental work — stays local.
+//
+// Usage: bench_update_maintenance [--scale=] [--timeout=] [--quick]
+//                                 [--json=BENCH_update.json] [--csv=]
+
+#include <cstdio>
+#include <set>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "bench_support/experiment.h"
+#include "core/enumerate.h"
+#include "core/workspace_update.h"
+#include "datasets/generators.h"
+#include "graph/graph_builder.h"
+#include "util/random.h"
+#include "util/timer.h"
+
+using namespace krcore;
+
+namespace {
+
+/// Same serving-shaped geo-social network as bench_sweep_reuse: few large
+/// attribute-tight communities, so the k-core keeps big components whose
+/// pair sweep dominates a cold preparation — the regime where incremental
+/// maintenance pays.
+Dataset ServingDataset(const ExperimentEnv& env) {
+  GeoSocialConfig c;
+  c.num_vertices = static_cast<uint32_t>(40000 * env.scale);
+  c.average_degree = 8.0;
+  c.shape.num_communities = 4;
+  c.shape.avg_subgroup_size = 120;
+  c.city_sigma_km = 2.0;
+  c.neighborhood_sigma_km = 0.5;
+  c.seed = env.seed;
+  return MakeGeoSocial(c, "serving");
+}
+
+/// A churn batch shaped like social-graph traffic: half deletions of random
+/// existing edges, half triadic-closure insertions (a neighbor-of-neighbor
+/// pair — geographically close, so usually similar and actually felt by the
+/// substrate) plus a couple of long-range inserts that the similarity
+/// filter drops.
+std::vector<EdgeUpdate> ChurnBatch(const EdgeSetMirror& edges, const Graph& g,
+                                   size_t size, Rng* rng) {
+  std::vector<EdgeUpdate> batch;
+  std::vector<std::pair<VertexId, VertexId>> existing(edges.edges().begin(),
+                                                      edges.edges().end());
+  const VertexId n = edges.num_vertices();
+  for (size_t i = 0; i < size / 2 && !existing.empty(); ++i) {
+    const auto& e = existing[rng->NextBounded(existing.size())];
+    batch.push_back(EdgeUpdate::Remove(e.first, e.second));
+  }
+  for (size_t i = 0; i < size - size / 2; ++i) {
+    if (i % 4 == 3 || existing.empty()) {
+      VertexId u = static_cast<VertexId>(rng->NextBounded(n));
+      VertexId v = static_cast<VertexId>(rng->NextBounded(n));
+      if (u == v) v = (v + 1) % n;
+      batch.push_back(EdgeUpdate::Insert(u, v));
+      continue;
+    }
+    const auto& e = existing[rng->NextBounded(existing.size())];
+    auto nbrs = g.neighbors(e.second);
+    if (nbrs.empty()) continue;
+    VertexId w = nbrs[rng->NextBounded(nbrs.size())];
+    if (w != e.first) batch.push_back(EdgeUpdate::Insert(e.first, w));
+  }
+  return batch;
+}
+
+Measurement Total(const std::string& series, double seconds) {
+  Measurement m;
+  m.series = series;
+  m.x_label = "total";
+  m.seconds = seconds;
+  return m;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  OptionParser options(argc, argv);
+  auto env = ExperimentEnv::FromOptions(options);
+
+  Dataset serving = ServingDataset(env);
+  std::printf("%s\n", serving.StatsString().c_str());
+
+  const uint32_t k = 4;
+  const double r = 60;
+  const int batches = env.quick ? 3 : 8;
+  const size_t batch_size = 16;
+
+  EnumOptions eopts = AdvEnumOptions(k);
+  eopts.deadline = Deadline::AfterSeconds(env.timeout_seconds * batches);
+  eopts.parallel.num_threads = env.threads;
+  SimilarityOracle oracle = serving.MakeOracle(r);
+
+  PipelineOptions pipe;
+  pipe.k = k;
+  pipe.preprocess.num_threads = env.threads;
+  PreparedWorkspace maintained;
+  Status s = PrepareWorkspace(serving.graph, oracle, pipe, &maintained);
+  if (!s.ok()) {
+    std::fprintf(stderr, "prepare failed: %s\n", s.ToString().c_str());
+    return 1;
+  }
+  WorkspaceUpdater updater(serving.graph, oracle, &maintained);
+  EdgeSetMirror edges(serving.graph);
+  Rng rng(env.seed + 1000);
+
+  FigureReport figure("UpdateMaint",
+                      "update-then-mine vs rebuild-then-mine per batch");
+  std::printf("--- UpdateMaint: k=%u, r=%gkm, %d batches of %zu updates ---\n",
+              k, r, batches, batch_size);
+
+  double update_total = 0.0, rebuild_total = 0.0;
+  bool identical = true;
+  for (int b = 0; b < batches; ++b) {
+    std::vector<EdgeUpdate> batch =
+        ChurnBatch(edges, serving.graph, batch_size, &rng);
+    for (const auto& upd : batch) edges.Apply(upd);
+    Graph updated = edges.Build();
+
+    // Arm 1: incremental maintenance + mine.
+    Timer update_timer;
+    UpdateReport report;
+    s = updater.ApplyEdgeUpdates(batch, UpdateOptions{}, &report);
+    if (!s.ok()) {
+      std::fprintf(stderr, "update failed: %s\n", s.ToString().c_str());
+      return 1;
+    }
+    auto mined = EnumerateMaximalCores(maintained.components, eopts);
+    const double update_seconds = update_timer.ElapsedSeconds();
+    mined.stats.seconds = update_seconds;
+    mined.stats.update_batches = 1;
+    mined.stats.updated_rows = report.rows_rebuilt;
+    mined.stats.update_seconds = report.seconds;
+    update_total += update_seconds;
+
+    // Arm 2: cold rebuild + mine on the identical updated graph.
+    Timer rebuild_timer;
+    PreparedWorkspace cold;
+    s = PrepareWorkspace(updated, oracle, pipe, &cold);
+    if (!s.ok()) {
+      std::fprintf(stderr, "rebuild failed: %s\n", s.ToString().c_str());
+      return 1;
+    }
+    auto rebuilt = EnumerateMaximalCores(cold.components, eopts);
+    const double rebuild_seconds = rebuild_timer.ElapsedSeconds();
+    rebuilt.stats.seconds = rebuild_seconds;
+    rebuild_total += rebuild_seconds;
+
+    identical = identical && mined.cores == rebuilt.cores;
+    const std::string x = "batch=" + std::to_string(b + 1);
+    figure.Add(MeasureEnum("UpdateMine", x, mined));
+    figure.Add(MeasureEnum("RebuildMine", x, rebuilt));
+    std::printf(
+        "batch %d: update %.4fs (apply %.4fs, %llu rows, %llu oracle "
+        "pairs)  rebuild %.4fs  results %s\n",
+        b + 1, update_seconds, report.seconds,
+        (unsigned long long)report.rows_rebuilt,
+        (unsigned long long)report.pairs_from_oracle, rebuild_seconds,
+        mined.cores == rebuilt.cores ? "identical" : "DIFFER (BUG)");
+  }
+
+  figure.Add(Total("UpdateMine", update_total));
+  figure.Add(Total("RebuildMine", rebuild_total));
+  double speedup = update_total > 0 ? rebuild_total / update_total : 0.0;
+  figure.Add(Total("Speedup", speedup));
+  figure.Finish(env);
+  std::printf("cumulative: %s\n", updater.cumulative().ToString().c_str());
+  std::printf("update %.3fs  rebuild %.3fs  speedup %.2fx  results %s\n",
+              update_total, rebuild_total, speedup,
+              identical ? "identical" : "DIFFER (BUG)");
+
+  if (!env.json_path.empty()) {
+    char command[160];
+    std::snprintf(command, sizeof(command),
+                  "bench_update_maintenance --scale=%g --timeout=%g%s",
+                  env.scale, env.timeout_seconds, env.quick ? " --quick" : "");
+    WriteJsonReport(
+        env.json_path, "bench_update_maintenance",
+        "Incremental edge-update maintenance of a prepared workspace "
+        "(ApplyEdgeUpdates: local k-core peel/repair, cached dissimilarity-"
+        "row restriction, component split/merge) vs a full re-prepare per "
+        "batch. The Speedup series at x=total records rebuild/update wall "
+        "time; mining results are verified identical every batch.",
+        command, env, {&figure});
+  }
+  std::printf("UpdateMaint speedup: %.2fx (acceptance target >= 2x)\n",
+              speedup);
+  return identical ? 0 : 1;
+}

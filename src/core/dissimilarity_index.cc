@@ -19,6 +19,27 @@ bool DissimilarityIndex::Dissimilar(VertexId u, VertexId v) const {
   return std::binary_search(r.begin(), r.end(), v);
 }
 
+uint64_t DissimilarityIndex::AppendRemappedPairs(
+    std::span<const VertexId> rows, std::span<const VertexId> new_id,
+    Builder* builder) const {
+  KRCORE_DCHECK(new_id.size() >= n_);
+  uint64_t appended = 0;
+  for (VertexId u : rows) {
+    KRCORE_DCHECK(u < n_);
+    const VertexId nu = new_id[u];
+    if (nu == kInvalidVertex) continue;
+    for (VertexId v : (*this)[u]) {
+      if (v <= u) continue;  // each unordered pair once, from the min row
+      const VertexId nv = new_id[v];
+      if (nv != kInvalidVertex) {
+        builder->AddPair(nu, nv);
+        ++appended;
+      }
+    }
+  }
+  return appended;
+}
+
 uint64_t DissimilarityIndex::MemoryBytes() const {
   return offsets_.size() * sizeof(uint64_t) + ids_.size() * sizeof(VertexId) +
          bitset_slot_.size() * sizeof(uint32_t) +

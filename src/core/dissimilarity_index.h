@@ -90,6 +90,22 @@ class DissimilarityIndex {
     std::vector<uint64_t> pairs_;   // packed (min << 32 | max)
   };
 
+  /// Row maintenance primitive shared by workspace derivation and the
+  /// incremental edge-update engine: streams every stored pair {u, v} whose
+  /// endpoints both survive a re-keying (new_id[x] != kInvalidVertex) into
+  /// `builder` under the new ids, and returns how many pairs were appended.
+  /// `rows` lists the surviving source ids — every pair is emitted from its
+  /// smaller endpoint's row, so `rows` must contain ALL survivors, and only
+  /// those rows are scanned (a split into many sub-components stays
+  /// proportional to the survivors, not to this index's size). Invalidated
+  /// rows (new_id[x] == kInvalidVertex) are dropped wholesale — surviving
+  /// partners' rows lose exactly the entries pointing at them — and the
+  /// caller refills genuinely new rows with fresh AddPair calls before
+  /// Build(). new_id.size() must be >= num_vertices().
+  uint64_t AppendRemappedPairs(std::span<const VertexId> rows,
+                               std::span<const VertexId> new_id,
+                               Builder* builder) const;
+
  private:
   static constexpr uint32_t kNoBitset = static_cast<uint32_t>(-1);
 

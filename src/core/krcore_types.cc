@@ -1,5 +1,6 @@
 #include "core/krcore_types.h"
 
+#include <algorithm>
 #include <sstream>
 
 namespace krcore {
@@ -71,8 +72,13 @@ void MiningStats::MergeFrom(const MiningStats& other) {
   task_steals += other.task_steals;
   prepare_pair_sweeps += other.prepare_pair_sweeps;
   prepare_derivations += other.prepare_derivations;
-  prepare_seconds += other.prepare_seconds;
-  seconds += other.seconds;
+  update_batches += other.update_batches;
+  updated_rows += other.updated_rows;
+  update_seconds += other.update_seconds;
+  // Wall-clock fields: workers of one run overlap in time, so the merged
+  // wall estimate is the max, never the sum (see the header comment).
+  prepare_seconds = std::max(prepare_seconds, other.prepare_seconds);
+  seconds = std::max(seconds, other.seconds);
 }
 
 std::string MiningStats::ToString() const {
@@ -87,8 +93,12 @@ std::string MiningStats::ToString() const {
      << " promotions=" << promotions << " mc_calls=" << maximal_check_calls
      << " comps=" << components << " tasks=" << tasks_spawned
      << " steals=" << task_steals << " sweeps=" << prepare_pair_sweeps
-     << " derived=" << prepare_derivations
-     << " prep_sec=" << prepare_seconds << " sec=" << seconds;
+     << " derived=" << prepare_derivations;
+  if (update_batches > 0) {
+    os << " upd_batches=" << update_batches << " upd_rows=" << updated_rows
+       << " upd_sec=" << update_seconds;
+  }
+  os << " prep_sec=" << prepare_seconds << " sec=" << seconds;
   return os.str();
 }
 

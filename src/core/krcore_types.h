@@ -79,9 +79,24 @@ struct MiningStats {
   // wall time spent preparing/deriving (included in `seconds`).
   uint64_t prepare_pair_sweeps = 0;
   uint64_t prepare_derivations = 0;
+  // Incremental-maintenance accounting (core/workspace_update.h): update
+  // batches applied to the substrate this result was mined from, the
+  // dissimilarity rows those batches rebuilt, and the wall time they took
+  // (NOT included in `seconds`, which times the mining call itself).
+  uint64_t update_batches = 0;
+  uint64_t updated_rows = 0;
+  double update_seconds = 0.0;
   double prepare_seconds = 0.0;
   double seconds = 0.0;
 
+  /// Counter fields are summed. The wall-clock fields `seconds` and
+  /// `prepare_seconds` are merged as max: MergeFrom combines per-worker
+  /// partials of ONE logical run, where workers overlap in time — summing
+  /// them overstates wall time under parallelism. Sequential phase times
+  /// must be accumulated explicitly by the caller instead (the drivers
+  /// overwrite `seconds` from a single Timer for exactly this reason).
+  /// `update_seconds` is summed: it is a cumulative counter across batches,
+  /// not a per-worker share of one wall interval.
   void MergeFrom(const MiningStats& other);
   std::string ToString() const;
 };

@@ -15,10 +15,13 @@ thread_local TaskPool* tls_pool = nullptr;
 thread_local uint32_t tls_worker = 0;
 }  // namespace
 
+uint32_t ResolveThreadCount(uint32_t requested, uint32_t hardware) {
+  if (requested != 0) return requested;
+  return hardware == 0 ? 1 : hardware;
+}
+
 uint32_t ParallelOptions::Resolve() const {
-  if (num_threads != 0) return num_threads;
-  uint32_t hw = std::thread::hardware_concurrency();
-  return hw == 0 ? 1 : hw;
+  return ResolveThreadCount(num_threads, std::thread::hardware_concurrency());
 }
 
 TaskPool::TaskPool(uint32_t num_threads)

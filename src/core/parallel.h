@@ -31,6 +31,14 @@ struct ParallelOptions {
   uint32_t Resolve() const;
 };
 
+/// The resolution rule behind ParallelOptions::Resolve, split out so the
+/// zero-reporting-host case is unit-testable: hardware_concurrency() is
+/// allowed to return 0 ("not computable"), and every consumer of a resolved
+/// thread count (TaskPool sizing, ParallelFor fan-out, sweep cell
+/// concurrency) must receive >= 1. `requested` == 0 means "all hardware
+/// cores"; any other value is taken literally.
+uint32_t ResolveThreadCount(uint32_t requested, uint32_t hardware);
+
 /// Work-stealing task pool shared by per-component root tasks and the
 /// subtree tasks they fork: one deque per worker (owner pushes/pops the
 /// front, thieves take from the back), so the deep LIFO end stays hot in

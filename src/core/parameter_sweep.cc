@@ -116,6 +116,15 @@ SweepResult RunParameterSweep(const Graph& g, const SimilarityOracle& oracle,
     return result;
   }
   const uint32_t k_min = *std::min_element(grid.ks.begin(), grid.ks.end());
+  if (k_min == 0) {
+    // Rejected for the whole grid in both reuse modes: with reuse the base
+    // would be prepared at k_min and fail, poisoning every cell, while cold
+    // mode would fail only the k=0 cells — an inconsistency the boundary
+    // tests lock out.
+    result.status = Status::InvalidArgument(
+        "sweep grid contains k = 0; k must be a positive integer");
+    return result;
+  }
   const size_t per_group = grid.ks.size();
   result.cells.resize(grid.num_cells());
 

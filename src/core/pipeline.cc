@@ -70,6 +70,14 @@ ComponentContext BuildComponent(const Graph& similar_only,
 
 }  // namespace
 
+bool ComponentOrderBefore(const ComponentContext& a,
+                          const ComponentContext& b) {
+  if (a.graph.max_degree() != b.graph.max_degree()) {
+    return a.graph.max_degree() > b.graph.max_degree();
+  }
+  return a.to_parent.front() < b.to_parent.front();
+}
+
 Status PrepareComponents(const Graph& g, const SimilarityOracle& oracle,
                          const PipelineOptions& options,
                          std::vector<ComponentContext>* out,
@@ -143,10 +151,7 @@ Status PrepareComponents(const Graph& g, const SimilarityOracle& oracle,
   if (options.order_by_max_degree) {
     // Search the component with the highest-degree vertex first: the
     // maximum search seeds its incumbent from a large core quickly.
-    std::stable_sort(out->begin(), out->end(),
-                     [](const ComponentContext& a, const ComponentContext& b) {
-                       return a.graph.max_degree() > b.graph.max_degree();
-                     });
+    std::sort(out->begin(), out->end(), ComponentOrderBefore);
   }
 
   if (report != nullptr) {
@@ -192,6 +197,7 @@ Status PrepareWorkspace(const Graph& g, const SimilarityOracle& oracle,
   out->k = options.k;
   out->threshold = oracle.threshold();
   out->bitset_min_degree = options.preprocess.bitset_min_degree;
+  out->version = 0;
   return Status::OK();
 }
 
@@ -212,16 +218,7 @@ void DeriveComponent(const ComponentContext& base,
     (*remap)[induced.to_parent[i]] = static_cast<VertexId>(i);
   }
   DissimilarityIndex::Builder builder(static_cast<VertexId>(keep.size()));
-  for (size_t i = 0; i < keep.size(); ++i) {
-    const VertexId old_u = induced.to_parent[i];
-    for (VertexId old_v : base.dissimilar[old_u]) {
-      if (old_v <= old_u) continue;  // each unordered pair once
-      const VertexId new_v = (*remap)[old_v];
-      if (new_v != kInvalidVertex) {
-        builder.AddPair(static_cast<VertexId>(i), new_v);
-      }
-    }
-  }
+  base.dissimilar.AppendRemappedPairs(induced.to_parent, *remap, &builder);
   out->dissimilar = builder.Build(bitset_min_degree);
   // Reset only the slots this component touched so the scratch is reusable.
   for (VertexId v : induced.to_parent) (*remap)[v] = kInvalidVertex;
@@ -242,6 +239,7 @@ Status DeriveWorkspace(const PreparedWorkspace& base, uint32_t k,
   out->k = k;
   out->threshold = base.threshold;
   out->bitset_min_degree = base.bitset_min_degree;
+  out->version = base.version;
 
   for (const auto& comp : base.components) {
     if (options.deadline.Expired()) {
@@ -261,10 +259,10 @@ Status DeriveWorkspace(const PreparedWorkspace& base, uint32_t k,
   }
 
   if (options.order_by_max_degree) {
-    std::stable_sort(out->components.begin(), out->components.end(),
-                     [](const ComponentContext& a, const ComponentContext& b) {
-                       return a.graph.max_degree() > b.graph.max_degree();
-                     });
+    // The canonical order (not a stable sort over derivation order), so a
+    // derived workspace's component order matches a fresh preparation's.
+    std::sort(out->components.begin(), out->components.end(),
+              ComponentOrderBefore);
   }
 
   if (report != nullptr) {

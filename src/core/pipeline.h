@@ -39,6 +39,16 @@ struct ComponentContext {
   }
 };
 
+/// The deterministic component order every preparation path produces when
+/// order_by_max_degree is set: max structure degree descending, ties by
+/// ascending minimum parent id (to_parent is sorted, and component min ids
+/// are distinct, so this is a strict weak ordering equal to the historical
+/// stable_sort over discovery order). Shared by PrepareComponents,
+/// DeriveWorkspace and the incremental update engine so the maintained
+/// order stays byte-identical to a fresh preparation by construction.
+bool ComponentOrderBefore(const ComponentContext& a,
+                          const ComponentContext& b);
+
 struct PipelineOptions {
   uint32_t k = 1;
   /// Blocked-builder knobs shared with every mining entry point.
@@ -86,6 +96,12 @@ struct PreparedWorkspace {
   /// bitset_min_degree the indexes were built with; kept so snapshot
   /// round-trips rebuild byte-identical hybrid bitsets.
   uint32_t bitset_min_degree = DissimilarityIndex::kDefaultBitsetMinDegree;
+  /// Monotonically increasing graph version: 0 for a fresh preparation,
+  /// bumped once per ApplyEdgeUpdates batch (core/workspace_update.h) and
+  /// persisted by the snapshot layer, so serving tiers can tell which edge
+  /// state a saved substrate reflects. Derived workspaces inherit the
+  /// version of their base.
+  uint64_t version = 0;
   std::vector<ComponentContext> components;
 
   VertexId num_vertices() const {

@@ -178,6 +178,12 @@ Status ParseComponent(const std::string& payload, uint32_t bitset_min_degree,
 
   uint64_t num_pairs = 0;
   if (!r.GetU64(&num_pairs)) return Corrupt("short pair count");
+  // Divide-first bound before the size equality: a hostile pair count near
+  // 2^61 would wrap `expected + 8 * num_pairs` back into range and pass the
+  // equality check with a tiny payload.
+  if (num_pairs > (payload.size() - expected) / 8) {
+    return Corrupt("declared pair count exceeds the payload");
+  }
   if (payload.size() != expected + 8 * num_pairs) {
     return Corrupt("component payload size mismatch");
   }
@@ -227,6 +233,7 @@ Status SaveWorkspaceSnapshot(const PreparedWorkspace& ws,
   meta.PutU32(ws.k);
   meta.PutDouble(ws.threshold);
   meta.PutU32(ws.bitset_min_degree);
+  meta.PutU64(ws.version);
   meta.PutU64(ws.components.size());
   WriteSection(out, kMetaSection, meta.bytes());
   for (const auto& ctx : ws.components) {
@@ -274,10 +281,23 @@ Status LoadWorkspaceSnapshot(const std::string& path, PreparedWorkspace* out) {
   {
     PayloadReader r(payload);
     if (!r.GetU32(&out->k) || !r.GetDouble(&out->threshold) ||
-        !r.GetU32(&out->bitset_min_degree) || !r.GetU64(&num_components) ||
-        !r.exhausted()) {
+        !r.GetU32(&out->bitset_min_degree) || !r.GetU64(&out->version) ||
+        !r.GetU64(&num_components) || !r.exhausted()) {
       return Corrupt("malformed meta section");
     }
+  }
+  // No writer can produce k = 0 (PrepareWorkspace rejects it), and the
+  // prepared-components mining overloads downstream of a load do not
+  // re-validate k — so close the one ingress a crafted file would have.
+  if (out->k == 0) {
+    *out = PreparedWorkspace{};
+    return Corrupt("workspace k must be a positive integer");
+  }
+  // Every component section needs at least its 20-byte envelope, so a
+  // hostile count larger than the remaining bytes could ever hold is
+  // rejected here instead of spinning through that many failing reads.
+  if (num_components > remaining / 20) {
+    return Corrupt("declared component count exceeds the file");
   }
 
   out->components.reserve(

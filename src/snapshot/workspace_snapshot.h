@@ -27,13 +27,20 @@ namespace krcore {
 ///     checksum     u64   FNV-1a 64 over the payload
 ///
 /// Exactly one meta section comes first (k, threshold, bitset_min_degree,
+/// the monotonically increasing graph version of PreparedWorkspace::version,
 /// component count); one component section follows per component, in
 /// workspace order. Every structural invariant the engine relies on (CSR
 /// monotonicity, sorted adjacency, symmetric edges, in-range ids, sorted
 /// unique dissimilar pairs) is re-validated on load, so a corrupt or
 /// truncated file yields a clean Status error — never UB: wrong magic,
 /// unknown version, short reads, and checksum mismatches each produce a
-/// distinct InvalidArgument message.
+/// distinct InvalidArgument message. All declared counts are range-checked
+/// against the (already size-bounded) payload *before* any arithmetic that
+/// could wrap, so hostile headers cannot smuggle an overflowed size past
+/// the validators.
+///
+/// Format history: version 2 added the graph version to the meta section
+/// (files written by version-1 builds are rejected with the version error).
 ///
 /// Round trips are lossless: the loaded workspace's components are
 /// structurally identical to the saved ones (the dissimilarity bitset
@@ -43,7 +50,7 @@ namespace krcore {
 
 inline constexpr char kSnapshotMagic[8] = {'K', 'R', 'W', 'S',
                                            'N', 'A', 'P', '1'};
-inline constexpr uint32_t kSnapshotVersion = 1;
+inline constexpr uint32_t kSnapshotVersion = 2;
 
 /// Serializes `ws` to `path` (overwriting). Fails with NotFound when the
 /// file cannot be opened and Internal on a short write.

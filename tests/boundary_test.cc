@@ -1,0 +1,226 @@
+// Boundary-condition grid: degenerate parameters and degenerate graphs
+// through every preparation/serving entry point. These lock the expected
+// behavior (clean status or well-defined empty result — never a crash) for
+// the corners a static-snapshot mindset tends to miss: k = 0, thresholds
+// where everything is dissimilar or everything similar, the empty graph,
+// and the single-vertex graph.
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "core/enumerate.h"
+#include "core/maximum.h"
+#include "core/parameter_sweep.h"
+#include "core/pipeline.h"
+#include "core/workspace_update.h"
+#include "test_helpers.h"
+
+namespace krcore {
+namespace {
+
+Dataset SingleVertexDataset() {
+  Dataset d;
+  d.name = "single";
+  d.graph = MakeGraph(1, {});
+  d.attributes = AttributeTable::ForGeo({{0.0, 0.0}});
+  d.metric = Metric::kEuclideanDistance;
+  return d;
+}
+
+Dataset EmptyDataset() {
+  Dataset d;
+  d.name = "empty";
+  d.graph = Graph();
+  d.attributes = AttributeTable::ForGeo(std::vector<GeoPoint>{});
+  d.metric = Metric::kEuclideanDistance;
+  return d;
+}
+
+TEST(Boundary, KZeroIsRejectedEverywhere) {
+  auto dataset = test::MakeRandomGeo(30, 90, 2);
+  SimilarityOracle oracle(&dataset.attributes, dataset.metric, 0.4);
+
+  PipelineOptions pipe;
+  pipe.k = 0;
+  PreparedWorkspace ws;
+  EXPECT_TRUE(
+      PrepareWorkspace(dataset.graph, oracle, pipe, &ws).IsInvalidArgument());
+
+  EnumOptions eopts = AdvEnumOptions(0);
+  EXPECT_TRUE(EnumerateMaximalCores(dataset.graph, oracle, eopts)
+                  .status.IsInvalidArgument());
+  MaxOptions mopts = AdvMaxOptions(0);
+  EXPECT_TRUE(FindMaximumCore(dataset.graph, oracle, mopts)
+                  .status.IsInvalidArgument());
+
+  SweepGrid grid;
+  grid.ks = {0};
+  grid.rs = {0.4};
+  EXPECT_TRUE(RunParameterSweep(dataset.graph, oracle, grid, SweepOptions{})
+                  .status.IsInvalidArgument());
+}
+
+TEST(Boundary, EverythingDissimilarYieldsEmptyResults) {
+  // A negative distance threshold makes every pair dissimilar: the filtered
+  // graph has no edges, so no (k,r)-core exists at any k >= 1.
+  auto dataset = test::MakeRandomGeo(40, 200, 5);
+  SimilarityOracle none(&dataset.attributes, dataset.metric, -1.0);
+
+  PipelineOptions pipe;
+  pipe.k = 1;
+  PreparedWorkspace ws;
+  ASSERT_TRUE(PrepareWorkspace(dataset.graph, none, pipe, &ws).ok());
+  EXPECT_TRUE(ws.components.empty());
+
+  auto enum_result =
+      EnumerateMaximalCores(dataset.graph, none, AdvEnumOptions(1));
+  ASSERT_TRUE(enum_result.status.ok());
+  EXPECT_TRUE(enum_result.cores.empty());
+  auto max_result = FindMaximumCore(dataset.graph, none, AdvMaxOptions(1));
+  ASSERT_TRUE(max_result.status.ok());
+  EXPECT_TRUE(max_result.best.empty());
+
+  // Deriving any higher k from the empty workspace stays empty and OK.
+  PreparedWorkspace derived;
+  ASSERT_TRUE(DeriveWorkspace(ws, 5, pipe, &derived).ok());
+  EXPECT_TRUE(derived.components.empty());
+  EXPECT_EQ(derived.k, 5u);
+}
+
+TEST(Boundary, EverythingSimilarMatchesPlainKCoreSemantics) {
+  // A huge distance threshold accepts every pair: the (k,r)-core constraint
+  // degenerates to the classic k-core of each connected component, and the
+  // enumeration returns exactly the k-core components.
+  auto dataset = test::MakeRandomGeo(36, 140, 9);
+  SimilarityOracle all(&dataset.attributes, dataset.metric, 1e9);
+
+  auto result = EnumerateMaximalCores(dataset.graph, all, AdvEnumOptions(2));
+  ASSERT_TRUE(result.status.ok());
+  for (const auto& core : result.cores) {
+    for (VertexId v : core) {
+      uint32_t deg = 0;
+      for (VertexId w : core) deg += dataset.graph.HasEdge(v, w) ? 1 : 0;
+      EXPECT_GE(deg, 2u);
+    }
+  }
+  PipelineOptions pipe;
+  pipe.k = 2;
+  PreparedWorkspace ws;
+  ASSERT_TRUE(PrepareWorkspace(dataset.graph, all, pipe, &ws).ok());
+  uint64_t dissimilar = 0;
+  for (const auto& c : ws.components) dissimilar += c.num_dissimilar_pairs();
+  EXPECT_EQ(dissimilar, 0u) << "no pair may be dissimilar at r = 1e9";
+}
+
+TEST(Boundary, EmptyGraphIsServedCleanlyEverywhere) {
+  Dataset dataset = EmptyDataset();
+  SimilarityOracle oracle(&dataset.attributes, dataset.metric, 1.0);
+
+  PipelineOptions pipe;
+  pipe.k = 3;
+  PreparedWorkspace ws;
+  ASSERT_TRUE(PrepareWorkspace(dataset.graph, oracle, pipe, &ws).ok());
+  EXPECT_TRUE(ws.components.empty());
+  EXPECT_EQ(ws.num_vertices(), 0u);
+
+  PreparedWorkspace derived;
+  ASSERT_TRUE(DeriveWorkspace(ws, 4, pipe, &derived).ok());
+  EXPECT_TRUE(derived.components.empty());
+
+  auto enum_result =
+      EnumerateMaximalCores(dataset.graph, oracle, AdvEnumOptions(3));
+  ASSERT_TRUE(enum_result.status.ok());
+  EXPECT_TRUE(enum_result.cores.empty());
+  auto max_result = FindMaximumCore(dataset.graph, oracle, AdvMaxOptions(3));
+  ASSERT_TRUE(max_result.status.ok());
+  EXPECT_TRUE(max_result.best.empty());
+
+  SweepGrid grid;
+  grid.ks = {1, 2};
+  grid.rs = {1.0};
+  SweepResult sweep =
+      RunParameterSweep(dataset.graph, oracle, grid, SweepOptions{});
+  ASSERT_TRUE(sweep.status.ok());
+  ASSERT_EQ(sweep.cells.size(), 2u);
+  for (const auto& cell : sweep.cells) {
+    EXPECT_TRUE(cell.enum_result.cores.empty());
+  }
+
+  // The update engine degenerates gracefully too: no vertices means every
+  // update is out of range.
+  WorkspaceUpdater updater(dataset.graph, oracle, &ws);
+  std::vector<EdgeUpdate> batch = {EdgeUpdate::Insert(0, 1)};
+  EXPECT_TRUE(updater.ApplyEdgeUpdates(batch, UpdateOptions{}, nullptr)
+                  .IsInvalidArgument());
+}
+
+TEST(Boundary, SingleVertexGraphHasNoCoreForAnyPositiveK) {
+  Dataset dataset = SingleVertexDataset();
+  SimilarityOracle oracle(&dataset.attributes, dataset.metric, 1.0);
+
+  for (uint32_t k : {1u, 2u}) {
+    PipelineOptions pipe;
+    pipe.k = k;
+    PreparedWorkspace ws;
+    ASSERT_TRUE(PrepareWorkspace(dataset.graph, oracle, pipe, &ws).ok());
+    EXPECT_TRUE(ws.components.empty()) << "k=" << k;
+
+    auto result =
+        EnumerateMaximalCores(dataset.graph, oracle, AdvEnumOptions(k));
+    ASSERT_TRUE(result.status.ok());
+    EXPECT_TRUE(result.cores.empty()) << "k=" << k;
+  }
+
+  SweepGrid grid;
+  grid.ks = {1};
+  grid.rs = {1.0, 2.0};
+  SweepResult sweep =
+      RunParameterSweep(dataset.graph, oracle, grid, SweepOptions{});
+  ASSERT_TRUE(sweep.status.ok());
+  for (const auto& cell : sweep.cells) {
+    EXPECT_TRUE(cell.enum_result.cores.empty());
+  }
+}
+
+TEST(Boundary, TriangleAtK1AndK2IsLockedExactly) {
+  // Smallest non-degenerate fixture: a triangle of mutually similar
+  // vertices plus an isolated similar vertex. Expected results are spelled
+  // out so any boundary regression in the k=1 / k=2 paths is caught by
+  // value, not just by "didn't crash".
+  auto grouped = test::MakeGrouped(4, {{0, 1}, {1, 2}, {0, 2}}, {0, 0, 0, 0});
+  SimilarityOracle oracle = grouped.MakeOracle();
+
+  auto k1 = EnumerateMaximalCores(grouped.graph, oracle, AdvEnumOptions(1));
+  ASSERT_TRUE(k1.status.ok());
+  ASSERT_EQ(k1.cores.size(), 1u);
+  EXPECT_EQ(k1.cores[0], (VertexSet{0, 1, 2}));
+
+  auto k2 = EnumerateMaximalCores(grouped.graph, oracle, AdvEnumOptions(2));
+  ASSERT_TRUE(k2.status.ok());
+  ASSERT_EQ(k2.cores.size(), 1u);
+  EXPECT_EQ(k2.cores[0], (VertexSet{0, 1, 2}));
+
+  auto k3 = EnumerateMaximalCores(grouped.graph, oracle, AdvEnumOptions(3));
+  ASSERT_TRUE(k3.status.ok());
+  EXPECT_TRUE(k3.cores.empty());
+
+  // The update engine at the same boundary: deleting one triangle edge
+  // dissolves the 2-core; re-inserting it restores it byte-identically.
+  PipelineOptions pipe;
+  pipe.k = 2;
+  PreparedWorkspace ws;
+  ASSERT_TRUE(PrepareWorkspace(grouped.graph, oracle, pipe, &ws).ok());
+  WorkspaceUpdater updater(grouped.graph, oracle, &ws);
+  std::vector<EdgeUpdate> remove = {EdgeUpdate::Remove(0, 1)};
+  ASSERT_TRUE(updater.ApplyEdgeUpdates(remove, UpdateOptions{}, nullptr).ok());
+  EXPECT_TRUE(ws.components.empty());
+  std::vector<EdgeUpdate> insert = {EdgeUpdate::Insert(0, 1)};
+  ASSERT_TRUE(updater.ApplyEdgeUpdates(insert, UpdateOptions{}, nullptr).ok());
+  ASSERT_EQ(ws.components.size(), 1u);
+  EXPECT_EQ(ws.components[0].to_parent, (std::vector<VertexId>{0, 1, 2}));
+  EXPECT_EQ(ws.version, 2u);
+}
+
+}  // namespace
+}  // namespace krcore

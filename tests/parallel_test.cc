@@ -37,6 +37,47 @@ TEST(ParallelOptions, ResolveZeroMeansHardware) {
   EXPECT_EQ(p.Resolve(), 3u);
 }
 
+TEST(ParallelOptions, ZeroReportingHostStillResolvesToOne) {
+  // std::thread::hardware_concurrency() is allowed to return 0 ("not
+  // computable"); the resolution seam must clamp that to one worker, never
+  // zero, for every consumer (TaskPool sizing, ParallelFor fan-out, sweep
+  // cell concurrency).
+  EXPECT_EQ(ResolveThreadCount(0, 0), 1u);
+  EXPECT_EQ(ResolveThreadCount(0, 8), 8u);
+  EXPECT_EQ(ResolveThreadCount(1, 0), 1u);
+  EXPECT_EQ(ResolveThreadCount(5, 0), 5u);
+}
+
+TEST(ParallelOptions, MiningWithZeroThreadsOptionStillWorks) {
+  // num_threads = 0 flows through Resolve() into every driver; whatever the
+  // host reports (including 0), the run must complete and match sequential.
+  auto dataset = test::MakeRandomGeo(60, 300, 21);
+  SimilarityOracle oracle(&dataset.attributes, dataset.metric, 0.4);
+  EnumOptions seq = AdvEnumOptions(2);
+  EnumOptions all_cores = seq;
+  all_cores.parallel.num_threads = 0;
+  auto a = EnumerateMaximalCores(dataset.graph, oracle, seq);
+  auto b = EnumerateMaximalCores(dataset.graph, oracle, all_cores);
+  ASSERT_TRUE(a.status.ok());
+  ASSERT_TRUE(b.status.ok());
+  EXPECT_EQ(a.cores, b.cores);
+}
+
+TEST(TaskPoolTest, ZeroRequestedThreadsClampsToOneWorker) {
+  TaskPool pool(0);
+  EXPECT_EQ(pool.num_threads(), 1u);
+  std::atomic<int> ran{0};
+  pool.Submit([&ran] { ran.fetch_add(1); });
+  pool.Wait();
+  EXPECT_EQ(ran.load(), 1);
+}
+
+TEST(ParallelFor, ZeroThreadsBehavesSequentially) {
+  std::vector<int> hits(17, 0);
+  ParallelFor(0, hits.size(), [&](size_t i) { ++hits[i]; });
+  for (size_t i = 0; i < hits.size(); ++i) EXPECT_EQ(hits[i], 1);
+}
+
 TEST(TaskPoolTest, RunsEverySubmittedTask) {
   for (uint32_t threads : {1u, 2u, 4u}) {
     TaskPool pool(threads);

@@ -193,6 +193,72 @@ TEST(ParameterSweep, ConcurrentCellsMatchSequential) {
   }
 }
 
+TEST(ParameterSweep, ReportedSecondsNeverExceedMeasuredWallTime) {
+  // Regression for the wall-time accounting: per-worker MiningStats merges
+  // must not sum overlapping wall intervals, so no reported `seconds` —
+  // per cell or sweep-wide — may exceed the externally measured wall time
+  // of the whole call, even with concurrent cells.
+  auto dataset = test::MakeRandomGeo(120, 750, 29);
+  SimilarityOracle oracle(&dataset.attributes, dataset.metric, 0.35);
+  SweepGrid grid;
+  grid.ks = {2, 3, 4};
+  grid.rs = {0.3, 0.45};
+  SweepOptions options;
+  options.mode = SweepMode::kEnumerate;
+  options.enumerate = AdvEnumOptions(0);
+  options.enumerate.parallel.num_threads = 4;
+  options.parallel.num_threads = 4;
+
+  Timer wall;
+  SweepResult sweep = RunParameterSweep(dataset.graph, oracle, grid, options);
+  const double wall_seconds = wall.ElapsedSeconds();
+  ASSERT_TRUE(sweep.status.ok());
+  const double slack = 1e-3;  // timer granularity between the two clocks
+  EXPECT_LE(sweep.seconds, wall_seconds + slack);
+  for (const SweepCellResult& cell : sweep.cells) {
+    const MiningStats& stats = cell.stats(options.mode);
+    EXPECT_LE(stats.seconds, wall_seconds + slack)
+        << "cell (k=" << cell.k << ", r=" << cell.r << ")";
+    EXPECT_LE(stats.prepare_seconds, stats.seconds + slack);
+  }
+}
+
+TEST(ParameterSweep, MergeFromTakesMaxOfWallClockFields) {
+  MiningStats a, b;
+  a.seconds = 2.0;
+  a.prepare_seconds = 0.5;
+  a.search_nodes = 10;
+  b.seconds = 3.0;
+  b.prepare_seconds = 0.25;
+  b.search_nodes = 7;
+  b.update_seconds = 1.0;
+  a.MergeFrom(b);
+  EXPECT_DOUBLE_EQ(a.seconds, 3.0) << "overlapping workers: max, not sum";
+  EXPECT_DOUBLE_EQ(a.prepare_seconds, 0.5);
+  EXPECT_EQ(a.search_nodes, 17u) << "counters still sum";
+  EXPECT_DOUBLE_EQ(a.update_seconds, 1.0) << "cumulative counter: sums";
+}
+
+TEST(ParameterSweep, GridWithZeroKIsRejectedConsistently) {
+  // A k = 0 cell used to poison every cell in reuse mode (the shared base
+  // preparation fails) while cold mode failed only that cell; both modes
+  // now reject the grid up front.
+  auto dataset = test::MakeRandomGeo(40, 160, 3);
+  SimilarityOracle oracle(&dataset.attributes, dataset.metric, 0.4);
+  SweepGrid grid;
+  grid.ks = {0, 2};
+  grid.rs = {0.4};
+  SweepOptions reuse;
+  reuse.mode = SweepMode::kEnumerate;
+  reuse.enumerate = AdvEnumOptions(0);
+  SweepOptions cold = reuse;
+  cold.reuse_preprocessing = false;
+  EXPECT_TRUE(RunParameterSweep(dataset.graph, oracle, grid, reuse)
+                  .status.IsInvalidArgument());
+  EXPECT_TRUE(RunParameterSweep(dataset.graph, oracle, grid, cold)
+                  .status.IsInvalidArgument());
+}
+
 TEST(ParameterSweep, EmptyGridIsRejected) {
   auto dataset = test::MakeRandomGeo(20, 60, 1);
   SimilarityOracle oracle(&dataset.attributes, dataset.metric, 0.4);

@@ -5,6 +5,7 @@
 #include <cstdio>
 #include <fstream>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "core/enumerate.h"
@@ -195,41 +196,57 @@ TEST(Snapshot, BitFlipFailsChecksum) {
   }
 }
 
+// --- Hand-crafted hostile-file helpers (checksums valid, payloads evil). --
+
+void PutU32(std::string* s, uint32_t v) {
+  s->append(reinterpret_cast<const char*>(&v), sizeof(v));
+}
+void PutU64(std::string* s, uint64_t v) {
+  s->append(reinterpret_cast<const char*>(&v), sizeof(v));
+}
+uint64_t Fnv(const std::string& s) {
+  uint64_t h = 1469598103934665603ull;
+  for (char c : s) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 1099511628211ull;
+  }
+  return h;
+}
+void PutSection(std::string* out, uint32_t tag, const std::string& payload) {
+  PutU32(out, tag);
+  PutU64(out, payload.size());
+  out->append(payload);
+  PutU64(out, Fnv(payload));
+}
+
+/// A syntactically valid meta section for `num_components` components.
+std::string MetaPayload(uint64_t num_components, uint32_t k = 2) {
+  std::string meta;
+  PutU32(&meta, k);
+  double threshold = 1.0;
+  meta.append(reinterpret_cast<const char*>(&threshold), sizeof(threshold));
+  PutU32(&meta, DissimilarityIndex::kDefaultBitsetMinDegree);
+  PutU64(&meta, 0);  // graph version
+  PutU64(&meta, num_components);
+  return meta;
+}
+
+std::string FileWithSections(
+    const std::vector<std::pair<uint32_t, std::string>>& sections) {
+  std::string bytes(kSnapshotMagic, sizeof(kSnapshotMagic));
+  PutU32(&bytes, kSnapshotVersion);
+  for (const auto& [tag, payload] : sections) {
+    PutSection(&bytes, tag, payload);
+  }
+  return bytes;
+}
+
 TEST(Snapshot, AsymmetricAdjacencyIsRejected) {
   // Hand-crafted component with valid envelope checksums whose adjacency
   // violates the symmetry invariant only in the direction the loader must
   // probe explicitly: rows {0: [], 1: [0], 2: [0]} — every row is sorted,
   // in-range, and self-loop free, so only the reverse-edge probe can catch
   // it.
-  auto PutU32 = [](std::string* s, uint32_t v) {
-    s->append(reinterpret_cast<const char*>(&v), sizeof(v));
-  };
-  auto PutU64 = [](std::string* s, uint64_t v) {
-    s->append(reinterpret_cast<const char*>(&v), sizeof(v));
-  };
-  auto Fnv = [](const std::string& s) {
-    uint64_t h = 1469598103934665603ull;
-    for (char c : s) {
-      h ^= static_cast<unsigned char>(c);
-      h *= 1099511628211ull;
-    }
-    return h;
-  };
-  auto PutSection = [&](std::string* out, uint32_t tag,
-                        const std::string& payload) {
-    PutU32(out, tag);
-    PutU64(out, payload.size());
-    out->append(payload);
-    PutU64(out, Fnv(payload));
-  };
-
-  std::string meta;
-  PutU32(&meta, 2);  // k
-  double threshold = 1.0;
-  meta.append(reinterpret_cast<const char*>(&threshold), sizeof(threshold));
-  PutU32(&meta, DissimilarityIndex::kDefaultBitsetMinDegree);
-  PutU64(&meta, 1);  // one component
-
   std::string comp;
   PutU32(&comp, 3);  // n
   PutU64(&comp, 1);  // num_edges => 2 directed entries
@@ -241,10 +258,7 @@ TEST(Snapshot, AsymmetricAdjacencyIsRejected) {
   for (uint32_t u = 0; u < 3; ++u) PutU32(&comp, u);  // to_parent
   PutU64(&comp, 0);                                   // no dissimilar pairs
 
-  std::string bytes(kSnapshotMagic, sizeof(kSnapshotMagic));
-  PutU32(&bytes, kSnapshotVersion);
-  PutSection(&bytes, 1, meta);
-  PutSection(&bytes, 2, comp);
+  std::string bytes = FileWithSections({{1, MetaPayload(1)}, {2, comp}});
 
   TempFile file("asym.krws");
   WriteAll(file.path(), bytes);
@@ -252,6 +266,68 @@ TEST(Snapshot, AsymmetricAdjacencyIsRejected) {
   Status s = LoadWorkspaceSnapshot(file.path(), &loaded);
   EXPECT_TRUE(s.IsInvalidArgument());
   EXPECT_NE(s.message().find("asymmetric"), std::string::npos)
+      << s.ToString();
+}
+
+TEST(Snapshot, GraphVersionRoundTrips) {
+  auto dataset = test::MakeRandomGeo(50, 200, 12);
+  PreparedWorkspace ws = PrepareFixture(dataset, 2, 0.4);
+  ws.version = 41;  // as if 41 update batches had been applied
+  TempFile file("version_field.krws");
+  ASSERT_TRUE(SaveWorkspaceSnapshot(ws, file.path()).ok());
+  PreparedWorkspace loaded;
+  ASSERT_TRUE(LoadWorkspaceSnapshot(file.path(), &loaded).ok());
+  EXPECT_EQ(loaded.version, 41u);
+}
+
+TEST(Snapshot, OverflowCraftedPairCountIsRejected) {
+  // A component whose declared pair count is 2^61: 8 * num_pairs wraps to 0
+  // modulo 2^64, so the naive `payload.size() == expected + 8 * num_pairs`
+  // equality holds for a payload with no pair bytes at all. The divide-first
+  // bound must reject it before that arithmetic runs.
+  std::string comp;
+  PutU32(&comp, 3);  // n, isolated vertices
+  PutU64(&comp, 0);  // num_edges
+  for (uint32_t u = 0; u < 3; ++u) PutU32(&comp, 0);  // degrees
+  for (uint32_t u = 0; u < 3; ++u) PutU32(&comp, u);  // to_parent
+  PutU64(&comp, uint64_t{1} << 61);                   // hostile pair count
+
+  TempFile file("pair_overflow.krws");
+  WriteAll(file.path(), FileWithSections({{1, MetaPayload(1)}, {2, comp}}));
+  PreparedWorkspace loaded;
+  Status s = LoadWorkspaceSnapshot(file.path(), &loaded);
+  EXPECT_TRUE(s.IsInvalidArgument());
+  EXPECT_NE(s.message().find("pair count exceeds"), std::string::npos)
+      << s.ToString();
+  EXPECT_TRUE(loaded.components.empty());
+}
+
+TEST(Snapshot, KZeroMetaIsRejected) {
+  // No writer produces k = 0 (PrepareWorkspace rejects it), and the
+  // prepared-components mining overloads downstream of a load never
+  // re-validate k — the loader is the ingress that must close the hole.
+  TempFile file("kzero.krws");
+  WriteAll(file.path(),
+           FileWithSections({{1, MetaPayload(0, /*k=*/0)}}));
+  PreparedWorkspace loaded;
+  Status s = LoadWorkspaceSnapshot(file.path(), &loaded);
+  EXPECT_TRUE(s.IsInvalidArgument());
+  EXPECT_NE(s.message().find("k must be a positive"), std::string::npos)
+      << s.ToString();
+  EXPECT_EQ(loaded.k, 0u) << "output must be reset, not half-filled";
+}
+
+TEST(Snapshot, HostileComponentCountIsRejectedUpFront) {
+  // num_components near 2^63 cannot possibly fit in the file; the loader
+  // must fail from the header bound, not by attempting that many section
+  // reads (or a huge reserve).
+  TempFile file("comp_overflow.krws");
+  WriteAll(file.path(),
+           FileWithSections({{1, MetaPayload(uint64_t{1} << 62)}}));
+  PreparedWorkspace loaded;
+  Status s = LoadWorkspaceSnapshot(file.path(), &loaded);
+  EXPECT_TRUE(s.IsInvalidArgument());
+  EXPECT_NE(s.message().find("component count exceeds"), std::string::npos)
       << s.ToString();
 }
 
