@@ -35,14 +35,19 @@ void RunPoint(const Dataset& dataset, double r, uint32_t k,
     report->Add(std::move(m));
     // Tiered-bound breakdown: how often the free |M|+|C| check settled the
     // node, how often the cached expensive value was reused, and how many
-    // expensive evaluations actually ran.
+    // expensive evaluations actually ran — plus the substrate provenance
+    // (pair sweeps vs derivations vs score-filtered r-restrictions).
     const MiningStats& s = result.stats;
     std::printf(
-        "[naive=%llu cache=%llu exp=%llu recomp=%llu]",
+        "[naive=%llu cache=%llu exp=%llu recomp=%llu "
+        "sweeps=%llu derived=%llu r_restrict=%llu]",
         (unsigned long long)s.bound_naive_prunes,
         (unsigned long long)s.bound_cache_hits,
         (unsigned long long)s.bound_expensive_prunes,
-        (unsigned long long)s.bound_recomputes);
+        (unsigned long long)s.bound_recomputes,
+        (unsigned long long)s.prepare_pair_sweeps,
+        (unsigned long long)s.prepare_derivations,
+        (unsigned long long)s.derive_r_restrictions);
   }
   std::printf("\n");
 }

@@ -1,0 +1,234 @@
+// Measures the score-annotated substrate's multi-r amortization: a full
+// (k,r) grid answered from ONE pair sweep (a base prepared at the loosest
+// grid threshold whose stored scores cover the strictest — every cell then
+// a pure structural derivation) versus the pre-score baseline of one pair
+// sweep per distinct r, versus fully cold per-cell runs.
+//
+//   GridRS   the ks x rs grid under the three strategies:
+//            OneSweep      RunParameterSweep with reuse (1 pair sweep total)
+//            PerRBaseline  one unscored prepare per r + k-derivation —
+//                          exactly what the engine did before the score
+//                          substrate
+//            ColdCells     every cell pays its own full Algorithm 1 pass
+//
+// The "Speedup" series records per_r_total / one_sweep_total (the headline
+// number: what annotating scores buys over the old per-r reuse) and
+// cold_total / one_sweep_total at x=cold. The run *exits non-zero* when any
+// strategy's per-cell results diverge or the one-sweep engine reports more
+// than one pair sweep — the bench doubles as an equivalence check in the CI
+// bench-smoke job.
+//
+// Usage: bench_multi_r_sweep [--scale=] [--timeout=] [--quick]
+//                            [--json=BENCH_rsweep.json] [--csv=]
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench_support/experiment.h"
+#include "core/parameter_sweep.h"
+#include "datasets/generators.h"
+#include "util/options.h"
+
+using namespace krcore;
+
+namespace {
+
+/// Same serving-shaped geo-social network bench_sweep_reuse uses: a few
+/// large attribute-tight communities whose O(n_c^2) pair sweep dominates a
+/// cold run while the per-cell search stays light — the regime the prepared
+/// substrate exists for.
+Dataset ServingDataset(const ExperimentEnv& env) {
+  GeoSocialConfig c;
+  c.num_vertices = static_cast<uint32_t>(40000 * env.scale);
+  c.average_degree = 8.0;
+  c.shape.num_communities = 4;
+  c.shape.avg_subgroup_size = 120;
+  c.city_sigma_km = 2.0;
+  c.neighborhood_sigma_km = 0.5;
+  c.seed = env.seed;
+  return MakeGeoSocial(c, "serving");
+}
+
+std::string CellLabel(uint32_t k, double r) {
+  char buf[48];
+  std::snprintf(buf, sizeof(buf), "k=%u,r=%gkm", k, r);
+  return buf;
+}
+
+Measurement Total(const std::string& series, const std::string& x,
+                  double seconds) {
+  Measurement m;
+  m.series = series;
+  m.x_label = x;
+  m.seconds = seconds;
+  return m;
+}
+
+SweepOptions MakeSweepOptions(const ExperimentEnv& env) {
+  SweepOptions options;
+  options.mode = SweepMode::kEnumerate;
+  options.enumerate = AdvEnumOptions(0);
+  options.enumerate.parallel.num_threads = env.threads;
+  options.enumerate.deadline = Deadline::AfterSeconds(env.timeout_seconds);
+  return options;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  OptionParser options(argc, argv);
+  auto env = ExperimentEnv::FromOptions(options);
+
+  Dataset serving = ServingDataset(env);
+  std::printf("%s\n", serving.StatsString().c_str());
+
+  SweepGrid grid;
+  grid.ks = env.quick ? std::vector<uint32_t>{3, 4}
+                      : std::vector<uint32_t>{3, 4, 5};
+  grid.rs = env.quick ? std::vector<double>{40, 80}
+                      : std::vector<double>{40, 60, 80};
+  std::printf("--- GridRS: ks={3..%u} x rs={40..80}km (%zu cells) ---\n",
+              grid.ks.back(), grid.num_cells());
+
+  FigureReport report("GridRS",
+                      "full (k,r) grid: one scored sweep vs one sweep per r "
+                      "vs cold cells");
+  SimilarityOracle oracle = serving.MakeOracle(grid.rs.front());
+  bool ok = true;
+
+  // --- Strategy 1: the score-substrate engine — one pair sweep total.
+  SweepOptions one_opts = MakeSweepOptions(env);
+  Timer one_timer;
+  SweepResult one = RunParameterSweep(serving.graph, oracle, grid, one_opts);
+  const double one_seconds = one_timer.ElapsedSeconds();
+  for (const auto& cell : one.cells) {
+    report.Add(MeasureEnum("OneSweep", CellLabel(cell.k, cell.r),
+                           cell.enum_result));
+  }
+  report.Add(Total("OneSweep", "total", one.seconds));
+  if (!one.status.ok()) {
+    std::fprintf(stderr, "one-sweep run failed: %s\n",
+                 one.status.ToString().c_str());
+    return 1;
+  }
+  if (one.pair_sweeps != 1) {
+    std::fprintf(stderr,
+                 "DIVERGENCE (BUG): one-sweep engine reported %llu pair "
+                 "sweeps, wanted exactly 1\n",
+                 (unsigned long long)one.pair_sweeps);
+    ok = false;
+  }
+
+  // --- Strategy 2: the pre-score baseline — one unscored prepare per
+  // distinct r, higher k derived (exactly the engine before this change).
+  SweepOptions per_r_opts = MakeSweepOptions(env);
+  per_r_opts.enumerate.deadline = Deadline::AfterSeconds(env.timeout_seconds);
+  Timer per_r_timer;
+  std::vector<SweepCellResult> per_r_cells;
+  uint64_t per_r_sweeps = 0;
+  for (double r : grid.rs) {
+    SimilarityOracle r_oracle = serving.MakeOracle(r);
+    PipelineOptions pipe;
+    pipe.k = grid.ks.front();
+    pipe.deadline = per_r_opts.enumerate.deadline;
+    PreparedWorkspace base;
+    Status s = PrepareWorkspace(serving.graph, r_oracle, pipe, &base);
+    if (!s.ok()) {
+      std::fprintf(stderr, "per-r prepare failed: %s\n",
+                   s.ToString().c_str());
+      return 1;
+    }
+    ++per_r_sweeps;
+    SweepResult group = SweepPreparedWorkspace(base, grid.ks, per_r_opts);
+    if (!group.status.ok()) {
+      std::fprintf(stderr, "per-r sweep failed: %s\n",
+                   group.status.ToString().c_str());
+      return 1;
+    }
+    for (auto& cell : group.cells) {
+      cell.r = r;  // the baked-in threshold, for labeling
+      per_r_cells.push_back(std::move(cell));
+    }
+  }
+  const double per_r_seconds = per_r_timer.ElapsedSeconds();
+  for (const auto& cell : per_r_cells) {
+    report.Add(MeasureEnum("PerRBaseline", CellLabel(cell.k, cell.r),
+                           cell.enum_result));
+  }
+  report.Add(Total("PerRBaseline", "total", per_r_seconds));
+
+  // --- Strategy 3: fully cold cells.
+  SweepOptions cold_opts = MakeSweepOptions(env);
+  cold_opts.reuse_preprocessing = false;
+  cold_opts.enumerate.deadline = Deadline::AfterSeconds(env.timeout_seconds);
+  Timer cold_timer;
+  SweepResult cold = RunParameterSweep(serving.graph, oracle, grid,
+                                       cold_opts);
+  const double cold_seconds = cold_timer.ElapsedSeconds();
+  for (const auto& cell : cold.cells) {
+    report.Add(MeasureEnum("ColdCells", CellLabel(cell.k, cell.r),
+                           cell.enum_result));
+  }
+  report.Add(Total("ColdCells", "total", cold.seconds));
+
+  // --- Equivalence: all three strategies must agree on every cell.
+  if (one.cells.size() != per_r_cells.size() ||
+      one.cells.size() != cold.cells.size()) {
+    std::fprintf(stderr, "DIVERGENCE (BUG): cell counts differ\n");
+    ok = false;
+  } else {
+    for (size_t i = 0; i < one.cells.size(); ++i) {
+      if (one.cells[i].enum_result.cores !=
+              per_r_cells[i].enum_result.cores ||
+          one.cells[i].enum_result.cores != cold.cells[i].enum_result.cores) {
+        std::fprintf(stderr,
+                     "DIVERGENCE (BUG): cell %zu (k=%u, r=%g) results "
+                     "differ between strategies\n",
+                     i, one.cells[i].k, one.cells[i].r);
+        ok = false;
+      }
+    }
+  }
+
+  const double speedup_per_r =
+      one_seconds > 0 ? per_r_seconds / one_seconds : 0.0;
+  const double speedup_cold =
+      one_seconds > 0 ? cold_seconds / one_seconds : 0.0;
+  report.Add(Total("Speedup", "total", speedup_per_r));
+  report.Add(Total("Speedup", "cold", speedup_cold));
+  report.Finish(env);
+
+  std::printf(
+      "one-sweep %.3fs (%llu pair sweeps, %llu derived, %llu r-restricted)\n"
+      "per-r     %.3fs (%llu pair sweeps)\n"
+      "cold      %.3fs (%llu pair sweeps)\n"
+      "speedup vs per-r %.2fx, vs cold %.2fx, results %s\n",
+      one_seconds, (unsigned long long)one.pair_sweeps,
+      (unsigned long long)one.derived_cells,
+      (unsigned long long)[&] {
+        uint64_t n = 0;
+        for (const auto& c : one.cells) n += c.r_restricted ? 1 : 0;
+        return n;
+      }(),
+      per_r_seconds, (unsigned long long)per_r_sweeps, cold_seconds,
+      (unsigned long long)cold.pair_sweeps, speedup_per_r, speedup_cold,
+      ok ? "identical" : "DIFFER (BUG)");
+
+  if (!env.json_path.empty()) {
+    char command[160];
+    std::snprintf(command, sizeof(command),
+                  "bench_multi_r_sweep --scale=%g --timeout=%g%s", env.scale,
+                  env.timeout_seconds, env.quick ? " --quick" : "");
+    WriteJsonReport(
+        env.json_path, "bench_multi_r_sweep",
+        "Score-annotated substrate amortization: a full (k,r) grid served "
+        "from ONE pair sweep (base at the loosest r, scores covering the "
+        "strictest, every cell structurally derived) vs the pre-score "
+        "baseline of one pair sweep per distinct r vs fully cold cells. "
+        "The Speedup series records per_r/one_sweep at x=total and "
+        "cold/one_sweep at x=cold. Exits non-zero on any divergence.",
+        command, env, {&report});
+  }
+  return ok ? 0 : 1;
+}

@@ -6,8 +6,9 @@
 //   SweepK  four-cell k-sweep at one r (the acceptance grid): four cold
 //           runs pay four pair sweeps; the sweep engine pays one and
 //           derives the other three substrates by k-core nesting.
-//   GridKR  2x2 (k,r) grid: one pair sweep per distinct r instead of one
-//           per cell.
+//   GridKR  2x2 (k,r) grid: ONE pair sweep total (score-annotated base at
+//           the loosest r, stricter-r cells served by score filtering)
+//           instead of one per cell.
 //   Snap    snapshot save/load/mine versus fresh preprocess+mine on the
 //           same workspace (the save-once serve-many workflow), with the
 //           loaded mining results verified identical.

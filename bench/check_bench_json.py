@@ -52,8 +52,18 @@ MEASUREMENT_FIELDS = {
     "task_steals": int,
 }
 
+# Substrate-provenance counters added with the score-annotated substrate:
+# type-checked when present, but optional so baselines recorded by earlier
+# builds keep validating.
+OPTIONAL_MEASUREMENT_FIELDS = {
+    "prepare_pair_sweeps": int,
+    "prepare_derivations": int,
+    "derive_r_restrictions": int,
+    "score_filtered_pairs": int,
+}
 
-def check_fields(obj, spec, where, errors):
+
+def check_fields(obj, spec, where, errors, optional=None):
     for name, types in spec.items():
         if name not in obj:
             errors.append(f"{where}: missing field '{name}'")
@@ -62,9 +72,15 @@ def check_fields(obj, spec, where, errors):
                 f"{where}: field '{name}' has type "
                 f"{type(obj[name]).__name__}, wanted {types}"
             )
+    for name, types in (optional or {}).items():
+        if name in obj and not isinstance(obj[name], types):
+            errors.append(
+                f"{where}: field '{name}' has type "
+                f"{type(obj[name]).__name__}, wanted {types}"
+            )
     # bool is an int subclass; reject it where an int count is expected.
-    for name in spec:
-        if spec[name] is int and isinstance(obj.get(name), bool):
+    for name, types in list(spec.items()) + list((optional or {}).items()):
+        if types is int and isinstance(obj.get(name), bool):
             errors.append(f"{where}: field '{name}' is a bool, wanted int")
 
 
@@ -90,7 +106,8 @@ def check_file(path):
             if not isinstance(m, dict):
                 errors.append(f"{where}: not an object")
                 continue
-            check_fields(m, MEASUREMENT_FIELDS, where, errors)
+            check_fields(m, MEASUREMENT_FIELDS, where, errors,
+                         OPTIONAL_MEASUREMENT_FIELDS)
             if isinstance(m.get("seconds"), (int, float)) and m["seconds"] < 0:
                 errors.append(f"{where}: negative seconds")
     return errors

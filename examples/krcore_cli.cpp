@@ -92,14 +92,28 @@ bool ParseRs(const std::string& spec, std::vector<double>* rs) {
   return !rs->empty();
 }
 
+/// Sorts ascending and drops duplicates. The sweep engine honors duplicate
+/// grid entries as duplicate cells (in every reuse mode), so a spec like
+/// 3,3x10,10 used to silently mine — and without reuse, re-sweep — the
+/// same cell four times; normalizing the spec here keeps both reuse modes
+/// mining each distinct cell exactly once, in a deterministic order.
+template <typename T>
+void SortDedupe(std::vector<T>* values) {
+  std::sort(values->begin(), values->end());
+  values->erase(std::unique(values->begin(), values->end()), values->end());
+}
+
 /// Parses "--sweep=k1,k2[xr1,r2]". The r part is optional (snapshot sweeps
-/// have the threshold baked in; graph sweeps default to --r).
+/// default to the baked-in threshold; graph sweeps default to --r). Both
+/// axes are sorted and deduplicated.
 bool ParseSweepSpec(const std::string& spec, std::vector<uint32_t>* ks,
                     std::vector<double>* rs) {
   auto halves = SplitOn(spec, 'x');
   if (halves.empty() || halves.size() > 2) return false;
   if (!ParseKs(halves[0], ks)) return false;
   if (halves.size() == 2 && !ParseRs(halves[1], rs)) return false;
+  SortDedupe(ks);
+  SortDedupe(rs);
   return true;
 }
 
@@ -205,11 +219,19 @@ int main(int argc, char** argv) {
         "prepared workspaces (save preprocessing once, query many times):\n"
         "  --snapshot_out=F  prepare at (--k, --r), save the workspace to F,\n"
         "                    then serve the requested query from it\n"
+        "  --cover=R2        annotate the saved workspace with similarity\n"
+        "                    scores covering thresholds down to R2 (at least\n"
+        "                    as strict as --r): the snapshot then serves any\n"
+        "                    r between the two, not just --r\n"
         "  --snapshot_in=F   load a workspace instead of a graph; --k >= the\n"
-        "                    saved k is served by k-core derivation\n"
+        "                    saved k is served by k-core derivation, and a\n"
+        "                    score-annotated (v3) snapshot serves any --r in\n"
+        "                    its covered range by score filtering\n"
         "  --sweep=KS[xRS]   mine every (k,r) cell, e.g. 3,4,5x10,25 —\n"
-        "                    one pair sweep per r, higher k derived. With\n"
-        "                    --snapshot_in only KS is allowed\n"
+        "                    ONE pair sweep total (score-annotated base at\n"
+        "                    the loosest r, every cell derived). Specs are\n"
+        "                    sorted and deduplicated. With --snapshot_in the\n"
+        "                    r values must lie in the snapshot's range\n"
         "live updates (maintain the workspace under edge churn):\n"
         "  --updates=FILE    replay `+u v` / `-u v` lines; a blank line\n"
         "                    closes a batch. Each batch is applied\n"
@@ -318,9 +340,15 @@ int main(int argc, char** argv) {
     Status s =
         LoadWorkspaceSnapshot(options.GetString("snapshot_in", ""), &ws);
     if (!s.ok()) return Fail(s.ToString());
+    const std::string cover_note =
+        ws.scored
+            ? " (scores cover r=" + std::to_string(ws.score_cover) + ")"
+            : "";
     std::fprintf(stderr,
-                 "loaded workspace: k=%u r=%g, %zu components, %u vertices\n",
-                 ws.k, ws.threshold, ws.components.size(), ws.num_vertices());
+                 "loaded workspace: k=%u r=%g%s, %zu components, "
+                 "%u vertices\n",
+                 ws.k, ws.threshold, cover_note.c_str(),
+                 ws.components.size(), ws.num_vertices());
 
     if (options.Has("sweep")) {
       std::vector<uint32_t> ks;
@@ -328,12 +356,11 @@ int main(int argc, char** argv) {
       if (!ParseSweepSpec(options.GetString("sweep", ""), &ks, &rs)) {
         return Fail("bad --sweep spec (want k1,k2[xr1,r2]); see --help");
       }
-      if (!rs.empty()) {
-        return Fail(
-            "with --snapshot_in, --sweep takes k values only (the saved "
-            "workspace fixes r)");
-      }
-      SweepResult result = SweepPreparedWorkspace(ws, ks, MakeSweepOptions());
+      // A score-annotated (v3) snapshot serves any r between its serving
+      // threshold and its cover; without annotation only the baked-in r.
+      if (rs.empty()) rs = {ws.threshold};
+      SweepResult result =
+          SweepPreparedWorkspace(ws, ks, rs, MakeSweepOptions());
       PrintSweepResult(result,
                        mode == "enum" ? SweepMode::kEnumerate
                                       : SweepMode::kMaximum);
@@ -341,15 +368,18 @@ int main(int argc, char** argv) {
     }
 
     uint32_t k = static_cast<uint32_t>(options.GetInt("k", ws.k));
-    if (k == ws.k) return MineComponents(ws.components, k);
+    double query_r = options.GetDouble("r", ws.threshold);
+    if (k == ws.k && query_r == ws.threshold) {
+      return MineComponents(ws.components, k);
+    }
     PipelineOptions pipe;
     pipe.k = k;
     pipe.deadline = Deadline::AfterSeconds(timeout);
     PreparedWorkspace derived;
-    s = DeriveWorkspace(ws, k, pipe, &derived);
+    s = DeriveWorkspace(ws, k, query_r, pipe, &derived);
     if (!s.ok()) return Fail(s.ToString());
-    std::fprintf(stderr, "derived k=%u workspace: %zu components\n", k,
-                 derived.components.size());
+    std::fprintf(stderr, "derived (k=%u, r=%g) workspace: %zu components\n",
+                 k, query_r, derived.components.size());
     return MineComponents(derived.components, k);
   }
 
@@ -421,6 +451,9 @@ int main(int argc, char** argv) {
     pipe.k = k;
     pipe.deadline = Deadline::AfterSeconds(timeout);
     pipe.preprocess.num_threads = threads;
+    if (options.Has("cover")) {
+      pipe.score_cover = options.GetDouble("cover", r);
+    }
     PreparedWorkspace ws;
     Status s = PrepareWorkspace(dataset.graph, oracle, pipe, &ws);
     if (!s.ok()) return Fail(s.ToString());
@@ -470,8 +503,10 @@ int main(int argc, char** argv) {
   }
 
   // --- Batched (k,r) grid over the raw graph. With --snapshot_out the
-  // grid must have a single r: the base workspace is prepared at the
-  // smallest k, persisted, and the sweep is then served from it.
+  // score-annotated base workspace — prepared once at the grid's loosest r
+  // with scores covering its strictest, at the smallest k — is persisted
+  // first, then the whole grid is served from it. The saved v3 snapshot
+  // keeps serving every (k' >= k_min, r inside the grid's r range) later.
   if (options.Has("sweep")) {
     SweepGrid grid;
     if (!ParseSweepSpec(options.GetString("sweep", ""), &grid.ks,
@@ -480,26 +515,35 @@ int main(int argc, char** argv) {
     }
     if (grid.rs.empty()) grid.rs = {r};
     if (options.Has("snapshot_out")) {
-      if (grid.rs.size() != 1) {
-        return Fail(
-            "--snapshot_out needs a single-r sweep (a workspace snapshot "
-            "fixes one r)");
+      const bool is_distance = oracle.is_distance();
+      const double r_serve = LoosestThreshold(grid.rs, is_distance);
+      double r_cover = StrictestThreshold(grid.rs, is_distance);
+      if (options.Has("cover")) {
+        // Honor a wider (stricter) user-requested cover so the saved
+        // snapshot serves beyond the grid; a looser one could not serve
+        // the grid itself, so the stricter of the two wins.
+        const double user_cover = options.GetDouble("cover", r_cover);
+        if (ThresholdAtLeastAsStrict(user_cover, r_cover, is_distance)) {
+          r_cover = user_cover;
+        }
       }
       PipelineOptions pipe;
       pipe.k = *std::min_element(grid.ks.begin(), grid.ks.end());
       pipe.deadline = Deadline::AfterSeconds(timeout);
       pipe.preprocess.num_threads = threads;
+      pipe.score_cover = r_cover;
       PreparedWorkspace ws;
       Status s = PrepareWorkspace(
-          dataset.graph, oracle.WithThreshold(grid.rs[0]), pipe, &ws);
+          dataset.graph, oracle.WithThreshold(r_serve), pipe, &ws);
       if (!s.ok()) return Fail(s.ToString());
       const std::string path = options.GetString("snapshot_out", "");
       s = SaveWorkspaceSnapshot(ws, path);
       if (!s.ok()) return Fail(s.ToString());
-      std::fprintf(stderr, "saved workspace (k=%u r=%g) to %s\n", ws.k,
-                   ws.threshold, path.c_str());
+      std::fprintf(stderr,
+                   "saved workspace (k=%u r=%g, scores cover r=%g) to %s\n",
+                   ws.k, ws.threshold, ws.score_cover, path.c_str());
       SweepResult result =
-          SweepPreparedWorkspace(ws, grid.ks, MakeSweepOptions());
+          SweepPreparedWorkspace(ws, grid.ks, grid.rs, MakeSweepOptions());
       PrintSweepResult(result, mode == "enum" ? SweepMode::kEnumerate
                                               : SweepMode::kMaximum);
       return result.status.ok() ? 0 : 2;
@@ -512,11 +556,16 @@ int main(int argc, char** argv) {
   }
 
   // --- Single cell, optionally persisting the prepared workspace first.
+  // With --cover the same pair sweep annotates scores down to the cover
+  // threshold, so the saved snapshot serves a whole r range, not one point.
   if (options.Has("snapshot_out")) {
     PipelineOptions pipe;
     pipe.k = k;
     pipe.deadline = Deadline::AfterSeconds(timeout);
     pipe.preprocess.num_threads = threads;
+    if (options.Has("cover")) {
+      pipe.score_cover = options.GetDouble("cover", r);
+    }
     PreparedWorkspace ws;
     PreprocessReport report;
     Status s = PrepareWorkspace(dataset.graph, oracle, pipe, &ws, &report);

@@ -189,7 +189,15 @@ void WriteJsonReport(const std::string& path, const std::string& bench,
           << "      \"bound_recomputes\": " << m.stats.bound_recomputes
           << ",\n"
           << "      \"tasks_spawned\": " << m.stats.tasks_spawned << ",\n"
-          << "      \"task_steals\": " << m.stats.task_steals << "\n"
+          << "      \"task_steals\": " << m.stats.task_steals << ",\n"
+          << "      \"prepare_pair_sweeps\": " << m.stats.prepare_pair_sweeps
+          << ",\n"
+          << "      \"prepare_derivations\": " << m.stats.prepare_derivations
+          << ",\n"
+          << "      \"derive_r_restrictions\": "
+          << m.stats.derive_r_restrictions << ",\n"
+          << "      \"score_filtered_pairs\": "
+          << m.stats.score_filtered_pairs << "\n"
           << "    }";
     }
   }

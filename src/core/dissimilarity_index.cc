@@ -1,7 +1,9 @@
 #include "core/dissimilarity_index.h"
 
 #include <algorithm>
+#include <utility>
 
+#include "similarity/similarity_oracle.h"
 #include "util/logging.h"
 
 namespace krcore {
@@ -13,7 +15,7 @@ bool DissimilarityIndex::Dissimilar(VertexId u, VertexId v) const {
   if (su != kNoBitset) return TestBit(su, v);
   uint32_t sv = bitset_slot_.empty() ? kNoBitset : bitset_slot_[v];
   if (sv != kNoBitset) return TestBit(sv, u);
-  // Both rows cold: binary search the shorter one.
+  // Both rows cold: binary search the shorter active segment.
   if (degree(v) < degree(u)) std::swap(u, v);
   auto r = (*this)[u];
   return std::binary_search(r.begin(), r.end(), v);
@@ -23,83 +25,248 @@ uint64_t DissimilarityIndex::AppendRemappedPairs(
     std::span<const VertexId> rows, std::span<const VertexId> new_id,
     Builder* builder) const {
   KRCORE_DCHECK(new_id.size() >= n_);
+  const bool scored = has_scores();
+  if (scored) builder->AnnotateScores();
   uint64_t appended = 0;
   for (VertexId u : rows) {
     KRCORE_DCHECK(u < n_);
     const VertexId nu = new_id[u];
     if (nu == kInvalidVertex) continue;
-    for (VertexId v : (*this)[u]) {
+    const auto active = (*this)[u];
+    const auto act_scores = row_scores(u);
+    for (size_t i = 0; i < active.size(); ++i) {
+      const VertexId v = active[i];
       if (v <= u) continue;  // each unordered pair once, from the min row
       const VertexId nv = new_id[v];
-      if (nv != kInvalidVertex) {
+      if (nv == kInvalidVertex) continue;
+      if (scored) {
+        builder->AddScoredPair(nu, nv, act_scores[i]);
+      } else {
         builder->AddPair(nu, nv);
-        ++appended;
       }
+      ++appended;
+    }
+    if (!scored) continue;
+    const auto res = reserve_row(u);
+    const auto res_scores = reserve_scores(u);
+    for (size_t i = 0; i < res.size(); ++i) {
+      const VertexId v = res[i];
+      if (v <= u) continue;
+      const VertexId nv = new_id[v];
+      if (nv == kInvalidVertex) continue;
+      builder->AddReservePair(nu, nv, res_scores[i]);
+      ++appended;
     }
   }
   return appended;
 }
 
+uint64_t DissimilarityIndex::AppendRestrictedPairs(
+    std::span<const VertexId> rows, std::span<const VertexId> new_id,
+    double new_serve, bool is_distance, Builder* builder,
+    uint64_t* score_tests) const {
+  KRCORE_DCHECK(new_id.size() >= n_);
+  KRCORE_DCHECK(has_scores())
+      << "threshold restriction needs a score-annotated index";
+  builder->AnnotateScores();
+  uint64_t appended = 0;
+  for (VertexId u : rows) {
+    KRCORE_DCHECK(u < n_);
+    const VertexId nu = new_id[u];
+    if (nu == kInvalidVertex) continue;
+    const auto active = (*this)[u];
+    const auto act_scores = row_scores(u);
+    for (size_t i = 0; i < active.size(); ++i) {
+      const VertexId v = active[i];
+      if (v <= u) continue;
+      const VertexId nv = new_id[v];
+      if (nv == kInvalidVertex) continue;
+      // Dissimilar at the (looser) old serve threshold stays dissimilar at
+      // any stricter one — no score test needed.
+      builder->AddScoredPair(nu, nv, act_scores[i]);
+      ++appended;
+    }
+    const auto res = reserve_row(u);
+    const auto res_scores = reserve_scores(u);
+    for (size_t i = 0; i < res.size(); ++i) {
+      const VertexId v = res[i];
+      if (v <= u) continue;
+      const VertexId nv = new_id[v];
+      if (nv == kInvalidVertex) continue;
+      if (score_tests != nullptr) ++*score_tests;
+      if (!ScoreSimilarUnder(res_scores[i], new_serve, is_distance)) {
+        builder->AddScoredPair(nu, nv, res_scores[i]);
+      } else {
+        builder->AddReservePair(nu, nv, res_scores[i]);
+      }
+      ++appended;
+    }
+  }
+  return appended;
+}
+
+bool DissimilarityIndex::LookupScore(VertexId u, VertexId v,
+                                     double* score) const {
+  KRCORE_DCHECK(u < n_ && v < n_);
+  if (scores_.empty()) return false;
+  const auto probe = [&](std::span<const VertexId> seg,
+                         std::span<const double> seg_scores) {
+    auto it = std::lower_bound(seg.begin(), seg.end(), v);
+    if (it == seg.end() || *it != v) return false;
+    *score = seg_scores[static_cast<size_t>(it - seg.begin())];
+    return true;
+  };
+  return probe((*this)[u], row_scores(u)) ||
+         probe(reserve_row(u), reserve_scores(u));
+}
+
 uint64_t DissimilarityIndex::MemoryBytes() const {
-  return offsets_.size() * sizeof(uint64_t) + ids_.size() * sizeof(VertexId) +
+  return offsets_.size() * sizeof(uint64_t) +
+         active_end_.size() * sizeof(uint64_t) +
+         ids_.size() * sizeof(VertexId) + scores_.size() * sizeof(double) +
          bitset_slot_.size() * sizeof(uint32_t) +
          bits_.size() * sizeof(uint64_t);
 }
 
 DissimilarityIndex::Builder::Builder(VertexId num_vertices)
-    : n_(num_vertices), counts_(num_vertices, 0) {}
+    : n_(num_vertices),
+      active_counts_(num_vertices, 0),
+      reserve_counts_(num_vertices, 0) {}
 
-void DissimilarityIndex::Builder::AddPair(VertexId a, VertexId b) {
+void DissimilarityIndex::Builder::Record(VertexId a, VertexId b,
+                                         bool reserve) {
   KRCORE_DCHECK(a < n_ && b < n_ && a != b);
   if (a > b) std::swap(a, b);
-  ++counts_[a];
-  ++counts_[b];
+  auto& counts = reserve ? reserve_counts_ : active_counts_;
+  ++counts[a];
+  ++counts[b];
   pairs_.push_back((static_cast<uint64_t>(a) << 32) | b);
 }
 
+void DissimilarityIndex::Builder::AddPair(VertexId a, VertexId b) {
+  KRCORE_DCHECK(!scored_) << "unscored AddPair on a score-annotated builder";
+  any_unscored_ = true;
+  Record(a, b, /*reserve=*/false);
+}
+
+void DissimilarityIndex::Builder::AddScoredPair(VertexId a, VertexId b,
+                                                double score) {
+  KRCORE_DCHECK(!any_unscored_) << "scored add on an unannotated builder";
+  scored_ = true;
+  Record(a, b, /*reserve=*/false);
+  scores_.push_back(score);
+  reserve_.push_back(0);
+}
+
+void DissimilarityIndex::Builder::AddReservePair(VertexId a, VertexId b,
+                                                 double score) {
+  KRCORE_DCHECK(!any_unscored_) << "scored add on an unannotated builder";
+  scored_ = true;
+  Record(a, b, /*reserve=*/true);
+  scores_.push_back(score);
+  reserve_.push_back(1);
+}
+
 uint64_t DissimilarityIndex::Builder::MemoryBytes() const {
-  return counts_.size() * sizeof(uint32_t) + pairs_.size() * sizeof(uint64_t);
+  return active_counts_.size() * sizeof(uint32_t) +
+         reserve_counts_.size() * sizeof(uint32_t) +
+         pairs_.size() * sizeof(uint64_t) + scores_.size() * sizeof(double) +
+         reserve_.size() * sizeof(uint8_t);
 }
 
 DissimilarityIndex DissimilarityIndex::Builder::Build(
     uint32_t bitset_min_degree) {
   DissimilarityIndex index;
   index.n_ = n_;
-  index.num_pairs_ = pairs_.size();
+  index.annotated_empty_ = scored_ && pairs_.empty();
 
   index.offsets_.assign(static_cast<size_t>(n_) + 1, 0);
+  index.active_end_.assign(n_, 0);
   for (VertexId u = 0; u < n_; ++u) {
-    index.offsets_[u + 1] = index.offsets_[u] + counts_[u];
+    index.active_end_[u] = index.offsets_[u] + active_counts_[u];
+    index.offsets_[u + 1] =
+        index.active_end_[u] + reserve_counts_[u];
   }
   index.ids_.resize(index.offsets_.back());
+  if (scored_) index.scores_.resize(index.offsets_.back());
 
-  // Fill both directions, then sort each row (pairs may arrive in any
-  // order, e.g. tile-major from the blocked pipeline builder).
-  std::vector<uint64_t> cursor(index.offsets_.begin(),
-                               index.offsets_.end() - 1);
-  for (uint64_t packed : pairs_) {
-    VertexId a = static_cast<VertexId>(packed >> 32);
-    VertexId b = static_cast<VertexId>(packed & 0xFFFFFFFFu);
-    index.ids_[cursor[a]++] = b;
-    index.ids_[cursor[b]++] = a;
+  // Fill both directions, then sort each segment (pairs may arrive in any
+  // order, e.g. tile-major from the blocked pipeline builder). Active
+  // entries land at the row start, reserve entries after active_end_.
+  std::vector<uint64_t> active_cursor(n_), reserve_cursor(n_);
+  for (VertexId u = 0; u < n_; ++u) {
+    active_cursor[u] = index.offsets_[u];
+    reserve_cursor[u] = index.active_end_[u];
+  }
+  for (size_t p = 0; p < pairs_.size(); ++p) {
+    const uint64_t packed = pairs_[p];
+    const VertexId a = static_cast<VertexId>(packed >> 32);
+    const VertexId b = static_cast<VertexId>(packed & 0xFFFFFFFFu);
+    const bool res = scored_ && reserve_[p] != 0;
+    uint64_t& ca = res ? reserve_cursor[a] : active_cursor[a];
+    uint64_t& cb = res ? reserve_cursor[b] : active_cursor[b];
+    if (res) {
+      ++index.num_reserve_pairs_;
+    } else {
+      ++index.num_pairs_;
+    }
+    index.ids_[ca] = b;
+    index.ids_[cb] = a;
+    if (scored_) {
+      index.scores_[ca] = scores_[p];
+      index.scores_[cb] = scores_[p];
+    }
+    ++ca;
+    ++cb;
   }
   pairs_.clear();
   pairs_.shrink_to_fit();
+  scores_.clear();
+  scores_.shrink_to_fit();
+  reserve_.clear();
+  reserve_.shrink_to_fit();
+
+  std::vector<std::pair<VertexId, double>> scratch;
+  auto sort_segment = [&](uint64_t begin, uint64_t end) {
+    if (!scored_) {
+      std::sort(index.ids_.begin() + begin, index.ids_.begin() + end);
+      return;
+    }
+    scratch.clear();
+    for (uint64_t i = begin; i < end; ++i) {
+      scratch.emplace_back(index.ids_[i], index.scores_[i]);
+    }
+    std::sort(scratch.begin(), scratch.end(),
+              [](const auto& x, const auto& y) { return x.first < y.first; });
+    for (uint64_t i = begin; i < end; ++i) {
+      index.ids_[i] = scratch[i - begin].first;
+      index.scores_[i] = scratch[i - begin].second;
+    }
+  };
   for (VertexId u = 0; u < n_; ++u) {
-    auto begin = index.ids_.begin() + index.offsets_[u];
-    auto end = index.ids_.begin() + index.offsets_[u + 1];
-    std::sort(begin, end);
-    KRCORE_DCHECK(std::adjacent_find(begin, end) == end)
-        << "duplicate dissimilar pair involving vertex " << u;
+    sort_segment(index.offsets_[u], index.active_end_[u]);
+    sort_segment(index.active_end_[u], index.offsets_[u + 1]);
+    KRCORE_DCHECK(std::adjacent_find(index.ids_.begin() + index.offsets_[u],
+                                     index.ids_.begin() +
+                                         index.active_end_[u]) ==
+                  index.ids_.begin() + index.active_end_[u])
+        << "duplicate active dissimilar pair involving vertex " << u;
+    KRCORE_DCHECK(std::adjacent_find(
+                      index.ids_.begin() + index.active_end_[u],
+                      index.ids_.begin() + index.offsets_[u + 1]) ==
+                  index.ids_.begin() + index.offsets_[u + 1])
+        << "duplicate reserve pair involving vertex " << u;
   }
 
-  // Hybrid bitsets for hot rows: absolutely large and dense enough that the
-  // bitmap stays within ~2x of the row's CSR footprint.
+  // Hybrid bitsets for hot rows, keyed on the *active* degree: the bitset
+  // answers Dissimilar() at the serving threshold, so reserve entries are
+  // excluded and an annotated index probes identically to an unannotated
+  // one built at the same threshold.
   // A bitset row costs n/8 bytes and the CSR row 4*degree bytes, so
   // degree * 64 >= n keeps the bitset within ~2x of the row's CSR bytes.
   auto is_hot = [&](VertexId u) {
-    return counts_[u] >= bitset_min_degree &&
-           static_cast<uint64_t>(counts_[u]) * 64 >= n_;
+    return active_counts_[u] >= bitset_min_degree &&
+           static_cast<uint64_t>(active_counts_[u]) * 64 >= n_;
   };
   VertexId hot = 0;
   for (VertexId u = 0; u < n_; ++u) {

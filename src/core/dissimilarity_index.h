@@ -25,6 +25,27 @@ namespace krcore {
 ///    the bitset at ~2x the row's CSR bytes) additionally get a packed
 ///    bitmap, making Dissimilar(u, v) O(1) on exactly the hot vertices
 ///    where a binary search over a huge row would hurt.
+///  - Score annotation (optional): a parallel score array storing each
+///    pair's raw metric value, and a two-segment row split. The *active*
+///    segment holds the pairs dissimilar at the index's serving threshold —
+///    exactly what an unannotated index stores — and every mining-facing
+///    accessor (operator[], degree, Dissimilar, the bitsets, num_pairs)
+///    sees only it, so the search hot path is bit-for-bit identical with or
+///    without annotation. The *reserve* segment holds pairs that are
+///    similar at the serving threshold but dissimilar at some stricter
+///    *cover* threshold; only the derivation machinery reads it, to answer
+///    any threshold between serve and cover as a pure score filter with
+///    zero oracle calls.
+///
+///    Both segments keep ascending id order (not score order): the hot path
+///    needs O(log d) id membership on bitset-less rows, and an r-filter has
+///    to remap ids while copying anyway, so score-ordering a row would cost
+///    the membership probe and buy nothing the linear filter pass does not
+///    already get. Scores are stored at full double width: the filter must
+///    reproduce the oracle's threshold verdict bit for bit — a float-
+///    narrowed score can flip a pair that sits within half an ULP of a cell
+///    threshold, silently breaking the derived == cold invariant the whole
+///    reuse layer is contracted on.
 ///
 /// Instances are immutable once built; all reads are const and thread-safe.
 class DissimilarityIndex {
@@ -35,45 +56,95 @@ class DissimilarityIndex {
   DissimilarityIndex() = default;
 
   VertexId num_vertices() const { return n_; }
-  /// Number of unordered dissimilar pairs (DP of Sec 7.1).
+  /// Number of unordered dissimilar pairs at the serving threshold (DP of
+  /// Sec 7.1). Reserve pairs are not counted — they are not dissimilar at
+  /// the threshold this index serves.
   uint64_t num_pairs() const { return num_pairs_; }
   bool empty() const { return num_pairs_ == 0; }
 
+  /// True when rows carry the parallel score annotation (and possibly
+  /// reserve segments) a threshold-restriction needs.
+  bool has_scores() const { return !scores_.empty() || annotated_empty_; }
+  /// Number of unordered reserve pairs (similar at the serving threshold,
+  /// dissimilar at the builder's cover threshold).
+  uint64_t num_reserve_pairs() const { return num_reserve_pairs_; }
+
+  /// Dissimilar degree at the serving threshold (active entries only).
   uint32_t degree(VertexId u) const {
     KRCORE_DCHECK(u < n_);
-    return static_cast<uint32_t>(offsets_[u + 1] - offsets_[u]);
+    return static_cast<uint32_t>(active_end_[u] - offsets_[u]);
   }
 
-  /// Sorted dissimilar row of u.
+  /// Sorted dissimilar row of u (active segment only — what mining sees).
   std::span<const VertexId> operator[](VertexId u) const {
     KRCORE_DCHECK(u < n_);
-    return {ids_.data() + offsets_[u], ids_.data() + offsets_[u + 1]};
+    return {ids_.data() + offsets_[u], ids_.data() + active_end_[u]};
   }
   std::span<const VertexId> row(VertexId u) const { return (*this)[u]; }
 
-  /// True iff {u, v} is a dissimilar pair. O(1) when either endpoint owns a
-  /// bitset, O(log min(deg(u), deg(v))) otherwise.
+  /// Scores parallel to row(u). Empty spans when !has_scores().
+  std::span<const double> row_scores(VertexId u) const {
+    KRCORE_DCHECK(u < n_);
+    if (scores_.empty()) return {};
+    return {scores_.data() + offsets_[u], scores_.data() + active_end_[u]};
+  }
+
+  /// Sorted reserve row of u: partners similar at the serving threshold but
+  /// dissimilar at the cover threshold, with scores parallel.
+  std::span<const VertexId> reserve_row(VertexId u) const {
+    KRCORE_DCHECK(u < n_);
+    return {ids_.data() + active_end_[u], ids_.data() + offsets_[u + 1]};
+  }
+  std::span<const double> reserve_scores(VertexId u) const {
+    KRCORE_DCHECK(u < n_);
+    if (scores_.empty()) return {};
+    return {scores_.data() + active_end_[u], scores_.data() + offsets_[u + 1]};
+  }
+
+  /// True iff {u, v} is a dissimilar pair at the serving threshold. O(1)
+  /// when either endpoint owns a bitset, O(log min(deg(u), deg(v)))
+  /// otherwise. Reserve pairs answer false — they are similar at serve.
   bool Dissimilar(VertexId u, VertexId v) const;
 
   /// Number of rows backed by a bitset.
   VertexId bitset_rows() const { return bitset_rows_; }
 
-  /// Bytes held by the CSR arrays plus the bitset arena (excludes the
-  /// object header; used for the PreprocessReport memory accounting).
+  /// Bytes held by the CSR arrays, the score annotation and the bitset
+  /// arena (excludes the object header; used for the PreprocessReport
+  /// memory accounting).
   uint64_t MemoryBytes() const;
 
   /// Accumulates pairs (both directions are derived from one AddPair call)
   /// and freezes them into an index. Designed for streaming producers: the
-  /// buffer holds 8 bytes per pair plus 4 bytes per vertex while
-  /// accumulating; during Build() the buffer and the CSR arrays (another
-  /// ~8 bytes per pair) briefly coexist.
+  /// buffer holds 8 bytes per pair (plus 9 more when score-annotated) plus
+  /// 8 bytes per vertex while accumulating; during Build() the buffer and
+  /// the CSR arrays briefly coexist.
+  ///
+  /// A builder is either unannotated (AddPair only) or score-annotated
+  /// (AddScoredPair / AddReservePair only); mixing the two is a programming
+  /// error.
   class Builder {
    public:
     explicit Builder(VertexId num_vertices);
 
     /// Records the unordered dissimilar pair {a, b}; a != b, both < n.
-    /// Each pair must be added at most once.
+    /// Each pair must be added at most once (across both segments).
     void AddPair(VertexId a, VertexId b);
+
+    /// Switches the builder to score-annotated mode without adding a pair:
+    /// a component with zero stored pairs must still build an index that
+    /// advertises has_scores(), or an empty component would lose its
+    /// threshold-restriction capability. Implied by the scored adds.
+    void AnnotateScores() {
+      KRCORE_DCHECK(!any_unscored_);
+      scored_ = true;
+    }
+
+    /// Score-annotated forms: an active pair (dissimilar at the serving
+    /// threshold) or a reserve pair (similar at serve, dissimilar at the
+    /// cover threshold), each carrying its raw metric score.
+    void AddScoredPair(VertexId a, VertexId b, double score);
+    void AddReservePair(VertexId a, VertexId b, double score);
 
     uint64_t num_pairs() const { return pairs_.size(); }
     /// Transient bytes currently held by the builder.
@@ -85,9 +156,16 @@ class DissimilarityIndex {
         uint32_t bitset_min_degree = kDefaultBitsetMinDegree);
 
    private:
+    void Record(VertexId a, VertexId b, bool reserve);
+
     VertexId n_;
-    std::vector<uint32_t> counts_;  // per-row degree accumulated by AddPair
-    std::vector<uint64_t> pairs_;   // packed (min << 32 | max)
+    bool scored_ = false;
+    bool any_unscored_ = false;
+    std::vector<uint32_t> active_counts_;   // per-row active degree
+    std::vector<uint32_t> reserve_counts_;  // per-row reserve degree
+    std::vector<uint64_t> pairs_;           // packed (min << 32 | max)
+    std::vector<double> scores_;            // parallel to pairs_ when scored
+    std::vector<uint8_t> reserve_;          // parallel segment flag
   };
 
   /// Row maintenance primitive shared by workspace derivation and the
@@ -102,9 +180,35 @@ class DissimilarityIndex {
   /// partners' rows lose exactly the entries pointing at them — and the
   /// caller refills genuinely new rows with fresh AddPair calls before
   /// Build(). new_id.size() must be >= num_vertices().
+  ///
+  /// Score annotation, when present, rides through verbatim: active pairs
+  /// stay active, reserve pairs stay reserve, scores preserved — the
+  /// restriction serves the same (serve, cover) pair of thresholds.
   uint64_t AppendRemappedPairs(std::span<const VertexId> rows,
                                std::span<const VertexId> new_id,
                                Builder* builder) const;
+
+  /// Threshold-restricting variant for a score-annotated index: re-keys the
+  /// surviving pairs like AppendRemappedPairs but re-classifies them for a
+  /// *stricter* serving threshold `new_serve` (same metric direction as the
+  /// index was built under). Active pairs stay active with no score test —
+  /// dissimilarity is monotone under tightening. Reserve pairs are score-
+  /// tested: dissimilar at new_serve goes active, the rest stays reserve
+  /// (the cover threshold is unchanged). `score_tests`, when non-null, is
+  /// incremented once per reserve pair consulted — the score_filtered_pairs
+  /// accounting of the derivation layer. Returns the pairs appended.
+  /// Requires has_scores().
+  uint64_t AppendRestrictedPairs(std::span<const VertexId> rows,
+                                 std::span<const VertexId> new_id,
+                                 double new_serve, bool is_distance,
+                                 Builder* builder,
+                                 uint64_t* score_tests) const;
+
+  /// Score of the stored pair {u, v} searched in u's full row (both
+  /// segments); returns false when the pair is not stored or the index is
+  /// unannotated. A probe utility for annotation consumers and tests —
+  /// the bulk derivation paths iterate the segments directly instead.
+  bool LookupScore(VertexId u, VertexId v, double* score) const;
 
  private:
   static constexpr uint32_t kNoBitset = static_cast<uint32_t>(-1);
@@ -117,11 +221,20 @@ class DissimilarityIndex {
 
   VertexId n_ = 0;
   uint64_t num_pairs_ = 0;
-  std::vector<uint64_t> offsets_;  // n+1
-  std::vector<VertexId> ids_;      // contiguous rows, each sorted
+  uint64_t num_reserve_pairs_ = 0;
+  /// Distinguishes "annotated but zero pairs stored" from "unannotated":
+  /// an empty scored index still advertises has_scores() so derivation
+  /// accepts it.
+  bool annotated_empty_ = false;
+  std::vector<uint64_t> offsets_;     // n+1, full rows (active + reserve)
+  std::vector<uint64_t> active_end_;  // n, end of each active segment
+  std::vector<VertexId> ids_;         // contiguous rows, segments sorted
+  std::vector<double> scores_;        // parallel to ids_ when annotated
 
   // Hybrid part: slot index per vertex (kNoBitset for cold rows) into a
-  // single arena of bitset_rows_ * words_per_row_ words.
+  // single arena of bitset_rows_ * words_per_row_ words. Built from active
+  // segments only, so probes agree with Dissimilar()'s serve-threshold
+  // semantics.
   std::vector<uint32_t> bitset_slot_;
   std::vector<uint64_t> bits_;
   VertexId words_per_row_ = 0;

@@ -72,6 +72,8 @@ void MiningStats::MergeFrom(const MiningStats& other) {
   task_steals += other.task_steals;
   prepare_pair_sweeps += other.prepare_pair_sweeps;
   prepare_derivations += other.prepare_derivations;
+  derive_r_restrictions += other.derive_r_restrictions;
+  score_filtered_pairs += other.score_filtered_pairs;
   update_batches += other.update_batches;
   updated_rows += other.updated_rows;
   update_seconds += other.update_seconds;
@@ -93,7 +95,9 @@ std::string MiningStats::ToString() const {
      << " promotions=" << promotions << " mc_calls=" << maximal_check_calls
      << " comps=" << components << " tasks=" << tasks_spawned
      << " steals=" << task_steals << " sweeps=" << prepare_pair_sweeps
-     << " derived=" << prepare_derivations;
+     << " derived=" << prepare_derivations
+     << " r_restrict=" << derive_r_restrictions
+     << " score_filtered=" << score_filtered_pairs;
   if (update_batches > 0) {
     os << " upd_batches=" << update_batches << " upd_rows=" << updated_rows
        << " upd_sec=" << update_seconds;

@@ -79,6 +79,12 @@ struct MiningStats {
   // wall time spent preparing/deriving (included in `seconds`).
   uint64_t prepare_pair_sweeps = 0;
   uint64_t prepare_derivations = 0;
+  // Score-substrate provenance: derivations that additionally restricted
+  // the serving threshold (served a stricter r than the cached workspace's
+  // by filtering its score annotation) and how many stored scores those
+  // filters consulted. Both 0 for fresh sweeps and k-only derivations.
+  uint64_t derive_r_restrictions = 0;
+  uint64_t score_filtered_pairs = 0;
   // Incremental-maintenance accounting (core/workspace_update.h): update
   // batches applied to the substrate this result was mined from, the
   // dissimilarity rows those batches rebuilt, and the wall time they took

@@ -18,13 +18,16 @@ namespace krcore {
 /// that answers many parameter combinations over the same snapshot of the
 /// network. A cold run per cell repeats the O(n^2) similarity sweep that
 /// dominates preprocessing; the sweep engine instead runs **one pair sweep
-/// per distinct r** (at the smallest requested k) and serves every higher-k
-/// cell of that r by DeriveWorkspace — a purely structural k-core peel of
-/// the cached components that never consults the oracle.
+/// total**: it prepares a single score-annotated workspace at the grid's
+/// loosest threshold (its pair sweep stores every score the strictest grid
+/// threshold needs) and the smallest requested k, then serves every cell by
+/// DeriveWorkspace — a purely structural k-core peel plus score filter of
+/// the cached components that never consults the oracle again.
 
 /// The cross product ks x rs of cells to mine. Duplicates are honored (each
-/// occurrence is a cell); ks need not be sorted — the engine prepares at the
-/// minimum and derives the rest.
+/// occurrence is a cell — batch callers should dedupe their specs; the CLI
+/// does); neither axis need be sorted. The engine prepares once at
+/// (min k, loosest r, cover = strictest r) and derives every cell.
 struct SweepGrid {
   std::vector<uint32_t> ks;
   std::vector<double> rs;
@@ -63,6 +66,9 @@ struct SweepCellResult {
   /// True when the cell's substrate was derived from the cached base
   /// workspace instead of swept fresh.
   bool derived = false;
+  /// True when the derivation additionally restricted the threshold (the
+  /// cell's r is stricter than the base workspace's serving threshold).
+  bool r_restricted = false;
   MaximalCoresResult enum_result;
   MaximumCoreResult max_result;
 
@@ -79,8 +85,8 @@ struct SweepCellResult {
 struct SweepResult {
   /// Grid order: for each r (outer), for each k (inner).
   std::vector<SweepCellResult> cells;
-  /// Full O(n^2) pair sweeps actually run (== |rs| with reuse, == cells
-  /// without) and cells served by k-core-nesting derivation.
+  /// Full O(n^2) pair sweeps actually run (== 1 with reuse, == cells
+  /// without) and cells served by derivation from the cached base.
   uint64_t pair_sweeps = 0;
   uint64_t derived_cells = 0;
   /// Wall time spent preparing/deriving substrates, and end-to-end.
@@ -98,9 +104,17 @@ SweepResult RunParameterSweep(const Graph& g, const SimilarityOracle& oracle,
                               const SweepGrid& grid,
                               const SweepOptions& options);
 
-/// Sweeps `ks` over an already-prepared (e.g. snapshot-loaded) workspace:
-/// its baked-in threshold is the only r, and every k must be >= base.k.
-/// Runs zero pair sweeps.
+/// Sweeps a (ks x rs) grid over an already-prepared (e.g. snapshot-loaded)
+/// workspace with zero pair sweeps. Every cell must be servable: k >= the
+/// workspace's k and r inside its serve..cover score interval — which for
+/// an unscored (or pre-v3 snapshot) workspace is just its baked-in
+/// threshold.
+SweepResult SweepPreparedWorkspace(const PreparedWorkspace& base,
+                                   const std::vector<uint32_t>& ks,
+                                   const std::vector<double>& rs,
+                                   const SweepOptions& options);
+
+/// k-only form: the workspace's baked-in threshold is the only r.
 SweepResult SweepPreparedWorkspace(const PreparedWorkspace& base,
                                    const std::vector<uint32_t>& ks,
                                    const SweepOptions& options);

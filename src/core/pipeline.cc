@@ -2,8 +2,10 @@
 
 #include <algorithm>
 #include <atomic>
+#include <cmath>
 #include <functional>
 #include <numeric>
+#include <string>
 
 #include "core/parallel.h"
 #include "graph/connectivity.h"
@@ -21,21 +23,31 @@ namespace {
 /// another worker already expired via *aborted) the build stops early and
 /// the returned context must be discarded. Returns the builder's peak
 /// transient byte count through *transient_bytes.
+///
+/// With options.score_cover set, the same sweep is score-annotating: the
+/// score each metric evaluation already computes is kept, pairs dissimilar
+/// at the serving threshold go in active, pairs dissimilar only at the
+/// cover threshold go in reserve — no extra oracle work, just storage.
 ComponentContext BuildComponent(const Graph& similar_only,
                                 const SimilarityOracle& oracle,
                                 const std::vector<VertexId>& comp,
-                                const PreprocessOptions& opts,
-                                const Deadline& deadline,
+                                const PipelineOptions& options,
                                 std::atomic<bool>* aborted,
                                 uint64_t* transient_bytes) {
+  const PreprocessOptions& opts = options.preprocess;
+  const Deadline& deadline = options.deadline;
   ComponentContext ctx;
   auto induced = BuildInducedSubgraph(similar_only, comp);
   ctx.graph = std::move(induced.graph);
   ctx.to_parent = std::move(induced.to_parent);
 
+  const bool annotate = options.annotate_scores();
+  const double cover = options.score_cover;
+  const bool is_distance = oracle.is_distance();
   const VertexId n = ctx.size();
   const VertexId tile = std::max<VertexId>(1, opts.tile_size);
   DissimilarityIndex::Builder builder(n);
+  if (annotate) builder.AnnotateScores();
   uint64_t since_poll = 0;
   for (VertexId a0 = 0; a0 < n; a0 += tile) {
     const VertexId a1 = std::min<VertexId>(a0 + tile, n);
@@ -53,8 +65,19 @@ ComponentContext BuildComponent(const Graph& similar_only,
             return ctx;
           }
         }
-        for (VertexId b = b_begin; b < b1; ++b) {
-          if (!oracle.Similar(pa, ctx.to_parent[b])) builder.AddPair(a, b);
+        if (annotate) {
+          for (VertexId b = b_begin; b < b1; ++b) {
+            const double s = oracle.Score(pa, ctx.to_parent[b]);
+            if (!oracle.SimilarAt(s)) {
+              builder.AddScoredPair(a, b, s);
+            } else if (!ScoreSimilarUnder(s, cover, is_distance)) {
+              builder.AddReservePair(a, b, s);
+            }
+          }
+        } else {
+          for (VertexId b = b_begin; b < b1; ++b) {
+            if (!oracle.Similar(pa, ctx.to_parent[b])) builder.AddPair(a, b);
+          }
         }
       }
     }
@@ -86,6 +109,14 @@ Status PrepareComponents(const Graph& g, const SimilarityOracle& oracle,
   out->clear();
   if (options.k == 0) {
     return Status::InvalidArgument("k must be a positive integer");
+  }
+  if (options.annotate_scores() &&
+      (!std::isfinite(options.score_cover) ||
+       !ThresholdAtLeastAsStrict(options.score_cover, oracle.threshold(),
+                                 oracle.is_distance()))) {
+    return Status::InvalidArgument(
+        "score_cover must be a finite threshold at least as strict as the "
+        "oracle's (>= r for similarity metrics, <= r for distance metrics)");
   }
 
   // Line 1-2 of Algorithm 1: drop edges between dissimilar endpoints. Such
@@ -137,10 +168,8 @@ Status PrepareComponents(const Graph& g, const SimilarityOracle& oracle,
   const uint32_t threads = par.Resolve();
   ParallelFor(threads, components.size(), [&](size_t i) {
     if (aborted.load(std::memory_order_relaxed)) return;
-    (*out)[i] =
-        BuildComponent(similar_only, oracle, components[i],
-                       options.preprocess, options.deadline, &aborted,
-                       &transients[i]);
+    (*out)[i] = BuildComponent(similar_only, oracle, components[i], options,
+                               &aborted, &transients[i]);
   });
   if (aborted.load()) {
     out->clear();
@@ -162,6 +191,7 @@ Status PrepareComponents(const Graph& g, const SimilarityOracle& oracle,
       report->vertices += ctx.size();
       report->edges += ctx.graph.num_edges();
       report->dissimilar_pairs += ctx.num_dissimilar_pairs();
+      report->reserve_pairs += ctx.dissimilar.num_reserve_pairs();
       report->index_bytes += ctx.dissimilar.MemoryBytes();
       report->bitset_rows += ctx.dissimilar.bitset_rows();
     }
@@ -196,6 +226,9 @@ Status PrepareWorkspace(const Graph& g, const SimilarityOracle& oracle,
   if (!s.ok()) return s;
   out->k = options.k;
   out->threshold = oracle.threshold();
+  out->scored = options.annotate_scores();
+  out->score_cover = out->scored ? options.score_cover : oracle.threshold();
+  out->is_distance = oracle.is_distance();
   out->bitset_min_degree = options.preprocess.bitset_min_degree;
   out->version = 0;
   return Status::OK();
@@ -203,14 +236,20 @@ Status PrepareWorkspace(const Graph& g, const SimilarityOracle& oracle,
 
 namespace {
 
-/// Restricts one cached component to the k-core survivors: induced structure
-/// graph, parent ids composed through the cache, and dissimilarity rows
-/// copied (not re-evaluated) from the cached index.
-void DeriveComponent(const ComponentContext& base,
+/// Restricts one cached component (or a threshold-filtered rebuild of it:
+/// `structure` is the component's structure graph with the edges that turn
+/// dissimilar at the derived r already dropped) to the k-core survivors
+/// `keep`: induced structure graph, parent ids composed through the cache,
+/// and dissimilarity rows copied (not re-evaluated) from the cached index.
+/// With `restrict_r` set the rows are re-classified for the stricter
+/// serving threshold `r` (reserve pairs score-filtered); otherwise they are
+/// restricted verbatim. `score_tests` accumulates consulted scores.
+void DeriveComponent(const ComponentContext& base, const Graph& structure,
                      const std::vector<VertexId>& keep,
                      std::vector<VertexId>* remap, uint32_t bitset_min_degree,
-                     ComponentContext* out) {
-  auto induced = BuildInducedSubgraph(base.graph, keep);
+                     bool restrict_r, double r, bool is_distance,
+                     uint64_t* score_tests, ComponentContext* out) {
+  auto induced = BuildInducedSubgraph(structure, keep);
   out->graph = std::move(induced.graph);
   out->to_parent.resize(keep.size());
   for (size_t i = 0; i < keep.size(); ++i) {
@@ -218,15 +257,48 @@ void DeriveComponent(const ComponentContext& base,
     (*remap)[induced.to_parent[i]] = static_cast<VertexId>(i);
   }
   DissimilarityIndex::Builder builder(static_cast<VertexId>(keep.size()));
-  base.dissimilar.AppendRemappedPairs(induced.to_parent, *remap, &builder);
+  if (restrict_r) {
+    base.dissimilar.AppendRestrictedPairs(induced.to_parent, *remap, r,
+                                          is_distance, &builder, score_tests);
+  } else {
+    base.dissimilar.AppendRemappedPairs(induced.to_parent, *remap, &builder);
+  }
   out->dissimilar = builder.Build(bitset_min_degree);
   // Reset only the slots this component touched so the scratch is reusable.
   for (VertexId v : induced.to_parent) (*remap)[v] = kInvalidVertex;
 }
 
+/// The r-dimension edge filter: the base component's structure graph with
+/// every edge whose stored score is dissimilar at the stricter `r` removed.
+/// Structure edges are similar at the base threshold, so any of them that a
+/// stricter r rejects is a reserve pair of the cached index — the filter is
+/// a pure lookup, zero oracle calls.
+Graph FilterStructureEdges(const ComponentContext& comp, double r,
+                           bool is_distance, std::vector<char>* drop_scratch) {
+  const VertexId n = comp.size();
+  GraphBuilder builder(n);
+  std::vector<char>& drop = *drop_scratch;
+  for (VertexId u = 0; u < n; ++u) {
+    const auto reserve = comp.dissimilar.reserve_row(u);
+    const auto scores = comp.dissimilar.reserve_scores(u);
+    for (size_t i = 0; i < reserve.size(); ++i) {
+      if (reserve[i] > u && !ScoreSimilarUnder(scores[i], r, is_distance)) {
+        drop[reserve[i]] = 1;
+      }
+    }
+    for (VertexId v : comp.graph.neighbors(u)) {
+      if (v > u && !drop[v]) builder.AddEdge(u, v);
+    }
+    for (size_t i = 0; i < reserve.size(); ++i) {
+      if (reserve[i] > u) drop[reserve[i]] = 0;
+    }
+  }
+  return builder.Build();
+}
+
 }  // namespace
 
-Status DeriveWorkspace(const PreparedWorkspace& base, uint32_t k,
+Status DeriveWorkspace(const PreparedWorkspace& base, uint32_t k, double r,
                        const PipelineOptions& options, PreparedWorkspace* out,
                        PreprocessReport* report) {
   Timer timer;
@@ -236,24 +308,52 @@ Status DeriveWorkspace(const PreparedWorkspace& base, uint32_t k,
         "cannot derive a lower k from a prepared workspace (the k-core at "
         "k' < k is a supergraph of the cached one); re-run PrepareWorkspace");
   }
+  const bool restrict_r = r != base.threshold;
+  if (restrict_r && !base.scored) {
+    return Status::InvalidArgument(
+        "workspace has no score annotation; only its exact threshold r=" +
+        std::to_string(base.threshold) +
+        " can be served (prepare with score_cover to widen the range)");
+  }
+  if (restrict_r && !base.Serves(k, r)) {
+    return Status::InvalidArgument(
+        "r=" + std::to_string(r) + " is outside the workspace's serving "
+        "interval [" + std::to_string(base.threshold) + ", " +
+        std::to_string(base.score_cover) + "] (metric-direction ordered)");
+  }
   out->k = k;
-  out->threshold = base.threshold;
+  out->threshold = r;
+  out->scored = base.scored;
+  out->score_cover = base.scored ? base.score_cover : r;
+  out->is_distance = base.is_distance;
   out->bitset_min_degree = base.bitset_min_degree;
   out->version = base.version;
 
+  uint64_t score_tests = 0;
+  std::vector<char> drop_scratch;
   for (const auto& comp : base.components) {
     if (options.deadline.Expired()) {
       out->components.clear();
       return Status::DeadlineExceeded(
           "budget expired while deriving the k-core workspace");
     }
-    std::vector<VertexId> core = KCoreVertices(comp.graph, k);
+    const Graph* structure = &comp.graph;
+    Graph filtered;
+    if (restrict_r) {
+      drop_scratch.assign(comp.size(), 0);
+      filtered =
+          FilterStructureEdges(comp, r, base.is_distance, &drop_scratch);
+      structure = &filtered;
+    }
+    std::vector<VertexId> core = KCoreVertices(*structure, k);
     if (core.empty()) continue;
-    auto locals = ComponentsOfSubset(comp.graph, core);
+    auto locals = ComponentsOfSubset(*structure, core);
     std::vector<VertexId> remap(comp.size(), kInvalidVertex);
     for (const auto& keep : locals) {
       ComponentContext derived;
-      DeriveComponent(comp, keep, &remap, base.bitset_min_degree, &derived);
+      DeriveComponent(comp, *structure, keep, &remap, base.bitset_min_degree,
+                      restrict_r, r, base.is_distance, &score_tests,
+                      &derived);
       out->components.push_back(std::move(derived));
     }
   }
@@ -272,14 +372,23 @@ Status DeriveWorkspace(const PreparedWorkspace& base, uint32_t k,
       report->vertices += ctx.size();
       report->edges += ctx.graph.num_edges();
       report->dissimilar_pairs += ctx.num_dissimilar_pairs();
+      report->reserve_pairs += ctx.dissimilar.num_reserve_pairs();
       report->index_bytes += ctx.dissimilar.MemoryBytes();
       report->bitset_rows += ctx.dissimilar.bitset_rows();
     }
-    // pairs_evaluated stays 0: derivation never consults the oracle.
+    // pairs_evaluated stays 0: derivation never consults the oracle — the
+    // r dimension is served from the stored scores alone.
+    report->score_filtered_pairs = score_tests;
     report->peak_bytes = report->index_bytes;
     report->seconds = timer.ElapsedSeconds();
   }
   return Status::OK();
+}
+
+Status DeriveWorkspace(const PreparedWorkspace& base, uint32_t k,
+                       const PipelineOptions& options, PreparedWorkspace* out,
+                       PreprocessReport* report) {
+  return DeriveWorkspace(base, k, base.threshold, options, out, report);
 }
 
 }  // namespace krcore

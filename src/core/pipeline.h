@@ -1,6 +1,8 @@
 #ifndef KRCORE_CORE_PIPELINE_H_
 #define KRCORE_CORE_PIPELINE_H_
 
+#include <cmath>
+#include <limits>
 #include <vector>
 
 #include "core/dissimilarity_index.h"
@@ -56,10 +58,22 @@ struct PipelineOptions {
   /// Sort components so the one containing the globally highest-degree
   /// vertex is searched first (Sec 6.1's seeding rule for FindMaximum).
   bool order_by_max_degree = true;
+  /// Score-annotation cover threshold. NaN (the default) builds the classic
+  /// boolean substrate at the oracle's threshold only. Set to a threshold
+  /// at least as strict as the oracle's (>= r for similarity metrics,
+  /// <= r for distance metrics) and the pair sweep stores every evaluated
+  /// score that is dissimilar at this cover: the prepared workspace then
+  /// serves ANY threshold between the two as a pure score filter — the
+  /// "prepare once at the loosest grid threshold, derive every (k,r) cell"
+  /// substrate. Setting it equal to the oracle's threshold annotates
+  /// scores without widening the serving range.
+  double score_cover = std::numeric_limits<double>::quiet_NaN();
   /// Wall-clock budget for the pair sweep itself: with no default pair
   /// budget the O(n^2) evaluation can be long, so the mining entry points
   /// forward their deadline here and expiry yields DeadlineExceeded.
   Deadline deadline;
+
+  bool annotate_scores() const { return !std::isnan(score_cover); }
 };
 
 /// Runs the shared preprocessing of Algorithm 1 (lines 1-4): removes edges
@@ -82,17 +96,36 @@ Status PrepareComponents(const Graph& g, const SimilarityOracle& oracle,
 /// (src/snapshot/workspace_snapshot.h) and the parameter-sweep engine caches:
 /// both answer mining calls without re-running the O(n^2) similarity sweep.
 ///
-/// A workspace prepared at (k, r) also serves any query at (k' >= k, r):
-/// the k'-core of the similarity-filtered graph is contained in the k-core,
-/// so components at k' are induced sub-components of the cached ones
+/// A workspace prepared at (k, r) serves any query at (k' >= k, r): the
+/// k'-core of the similarity-filtered graph is contained in the k-core, so
+/// components at k' are induced sub-components of the cached ones
 /// (DeriveWorkspace), and their dissimilarity rows are restrictions of the
 /// cached rows — no oracle calls needed.
+///
+/// A *score-annotated* workspace (scored == true) additionally serves an r
+/// dimension: it is prepared at the loosest threshold of a grid (largest
+/// filtered graph, hence largest k-core — every stricter cell's vertices
+/// are contained in it) while its stored pairs carry raw metric scores
+/// covering every pair dissimilar at `score_cover`, the strictest grid
+/// threshold. Any (k' >= k, r' between threshold and score_cover) is then
+/// derived with zero oracle calls: score-filter the structure edges and
+/// cached rows at r', re-peel the k'-core.
 struct PreparedWorkspace {
   /// The k the components were extracted at (queries need k' >= k).
   uint32_t k = 0;
-  /// The similarity threshold r baked into the substrate (both the edge
-  /// filter and the dissimilarity rows); only exact-r queries are valid.
+  /// The similarity threshold r baked into the substrate (the edge filter
+  /// and the active dissimilarity rows). Unscored workspaces serve only
+  /// exact-r queries.
   double threshold = 0.0;
+  /// Strictest threshold the score annotation covers; == threshold for
+  /// unscored workspaces (a point serving interval).
+  double score_cover = 0.0;
+  /// True when the component indexes carry score annotations (and possibly
+  /// reserve pairs) — the precondition for deriving at a different r.
+  bool scored = false;
+  /// Metric direction the thresholds are ordered under (distance: similar
+  /// means score <= r). Needed to orient the serve..cover interval.
+  bool is_distance = false;
   /// bitset_min_degree the indexes were built with; kept so snapshot
   /// round-trips rebuild byte-identical hybrid bitsets.
   uint32_t bitset_min_degree = DissimilarityIndex::kDefaultBitsetMinDegree;
@@ -109,22 +142,54 @@ struct PreparedWorkspace {
     for (const auto& c : components) n += c.size();
     return n;
   }
+
+  /// True iff a (query_k, query_r) cell can be served from this workspace:
+  /// query_k >= k, and query_r lies in the serve..cover interval (which is
+  /// the single point {threshold} for unscored workspaces).
+  bool Serves(uint32_t query_k, double query_r) const {
+    if (query_k < k) return false;
+    if (query_r == threshold) return true;
+    return scored &&
+           ThresholdAtLeastAsStrict(query_r, threshold, is_distance) &&
+           ThresholdAtLeastAsStrict(score_cover, query_r, is_distance);
+  }
 };
 
 /// PrepareComponents + identity stamping: prepares a workspace for
 /// (options.k, oracle.threshold()) that can be saved, cached, and served.
+/// With options.score_cover set, the same single pair sweep additionally
+/// annotates scores and stores reserve pairs up to the cover threshold,
+/// producing a workspace whose Serves() interval spans serve..cover.
 Status PrepareWorkspace(const Graph& g, const SimilarityOracle& oracle,
                         const PipelineOptions& options, PreparedWorkspace* out,
                         PreprocessReport* report = nullptr);
 
-/// Derives the workspace at `k` >= base.k from `base` purely structurally
-/// (k-core nesting, Sec 4.1): per cached component, re-peel the k-core,
-/// split into components, and restrict the cached dissimilarity rows to the
-/// survivors. Runs zero similarity-oracle calls — this is what makes a
-/// (k,r) sweep over one prepared substrate cheap. Components are re-sorted
-/// with the same max-degree-first rule PrepareComponents applies, and
-/// `report` (optional) accounts the derived substrate. Fails with
-/// InvalidArgument when k < base.k.
+/// Derives the workspace at (`k` >= base.k, `r` inside base's serving
+/// interval) from `base` purely structurally, with zero similarity-oracle
+/// calls — this is what collapses a (k,r) grid sweep to one pair sweep.
+///
+///  - k dimension (k-core nesting, Sec 4.1): per cached component, re-peel
+///    the k-core, split into components, restrict the cached rows.
+///  - r dimension (dissimilar-pair monotonicity): structure edges whose
+///    stored score turns dissimilar at the stricter `r` are dropped before
+///    the peel, active rows are kept wholesale (dissimilarity is monotone
+///    under tightening), and reserve pairs are score-filtered into the
+///    derived rows. Exact by construction: every pair the stricter cell
+///    needs is covered by the base's score annotation.
+///
+/// Components are re-sorted with the same max-degree-first rule
+/// PrepareComponents applies, so a derived workspace is structurally
+/// identical to a cold preparation at (k, r) — mining it returns byte-
+/// identical results. `report` (optional) accounts the derived substrate
+/// (pairs_evaluated stays 0; score_filtered_pairs counts consulted
+/// scores). Fails with InvalidArgument when k < base.k or r is outside the
+/// base's serving interval (including any r != threshold on an unscored
+/// base).
+Status DeriveWorkspace(const PreparedWorkspace& base, uint32_t k, double r,
+                       const PipelineOptions& options, PreparedWorkspace* out,
+                       PreprocessReport* report = nullptr);
+
+/// k-only overload: derives at the base's own threshold.
 Status DeriveWorkspace(const PreparedWorkspace& base, uint32_t k,
                        const PipelineOptions& options, PreparedWorkspace* out,
                        PreprocessReport* report = nullptr);

@@ -5,15 +5,17 @@
 namespace krcore {
 
 std::string PreprocessReport::ToString() const {
-  char buf[320];
+  char buf[400];
   std::snprintf(
       buf, sizeof(buf),
       "components=%llu vertices=%llu edges=%llu pairs_evaluated=%llu "
-      "dissimilar_pairs=%llu density=%.4f index_bytes=%llu peak_bytes=%llu "
+      "dissimilar_pairs=%llu reserve_pairs=%llu score_filtered=%llu "
+      "density=%.4f index_bytes=%llu peak_bytes=%llu "
       "bitset_rows=%llu seconds=%.3f",
       (unsigned long long)components, (unsigned long long)vertices,
       (unsigned long long)edges, (unsigned long long)pairs_evaluated,
-      (unsigned long long)dissimilar_pairs, dissimilar_density,
+      (unsigned long long)dissimilar_pairs, (unsigned long long)reserve_pairs,
+      (unsigned long long)score_filtered_pairs, dissimilar_density,
       (unsigned long long)index_bytes, (unsigned long long)peak_bytes,
       (unsigned long long)bitset_rows, seconds);
   return buf;

@@ -47,6 +47,13 @@ struct PreprocessReport {
   uint64_t edges = 0;             // structure edges across components
   uint64_t pairs_evaluated = 0;   // oracle calls performed
   uint64_t dissimilar_pairs = 0;  // pairs that violated r
+  /// Reserve pairs stored by a score-annotated preparation: similar at the
+  /// serving threshold but dissimilar at the cover threshold, kept so any
+  /// threshold in between is a pure score filter of this substrate.
+  uint64_t reserve_pairs = 0;
+  /// Stored scores consulted by a threshold-restricting derivation (0 for
+  /// fresh preparations and k-only derivations).
+  uint64_t score_filtered_pairs = 0;
   /// dissimilar_pairs / pairs_evaluated (0 when nothing was evaluated).
   double dissimilar_density = 0.0;
   uint64_t index_bytes = 0;       // final CSR + bitset footprint

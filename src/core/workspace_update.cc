@@ -73,6 +73,12 @@ WorkspaceUpdater::WorkspaceUpdater(const Graph& g,
         "the oracle with WithThreshold(ws.threshold)");
     return;
   }
+  if (ws_->scored && ws_->is_distance != oracle.is_distance()) {
+    init_status_ = Status::InvalidArgument(
+        "oracle metric direction does not match the score-annotated "
+        "workspace's; the stored scores would be filtered the wrong way");
+    return;
+  }
   // The same dissimilar-edge filter PrepareComponents runs (one oracle call
   // per edge), kept as mutable sorted rows over the full vertex universe —
   // non-core vertices included, since they are the promotion frontier.
@@ -410,13 +416,33 @@ Status WorkspaceUpdater::ApplyEdgeUpdates(std::span<const EdgeUpdate> updates,
       const bool fallback = dirty_fraction >= options.max_dirty_fraction &&
                             cn > 0;
 
+      // Freshly evaluated pairs keep the workspace's annotation contract:
+      // a scored workspace stores the score and re-classifies against its
+      // (serve, cover) interval — the same single evaluation the boolean
+      // path runs, so live-updated workspaces keep full-grid servability.
+      const bool scored = ws_->scored;
+      const double cover = ws_->score_cover;
+      const bool is_distance = ws_->is_distance;
       DissimilarityIndex::Builder pairs(cn);
+      if (scored) pairs.AnnotateScores();
+      auto EvaluatePair = [&](VertexId i, VertexId j) {
+        ++batch.pairs_from_oracle;
+        if (!scored) {
+          if (!oracle_.Similar(members[i], members[j])) pairs.AddPair(i, j);
+          return;
+        }
+        const double s = oracle_.Score(members[i], members[j]);
+        if (!oracle_.SimilarAt(s)) {
+          pairs.AddScoredPair(i, j, s);
+        } else if (!ScoreSimilarUnder(s, cover, is_distance)) {
+          pairs.AddReservePair(i, j, s);
+        }
+      };
       if (fallback) {
         ++batch.fallback_rebuilds;
         for (VertexId i = 0; i < cn; ++i) {
           for (VertexId j = i + 1; j < cn; ++j) {
-            ++batch.pairs_from_oracle;
-            if (!oracle_.Similar(members[i], members[j])) pairs.AddPair(i, j);
+            EvaluatePair(i, j);
           }
         }
       } else {
@@ -447,10 +473,7 @@ Status WorkspaceUpdater::ApplyEdgeUpdates(std::span<const EdgeUpdate> updates,
           for (size_t gj = gi + 1; gj < groups.size(); ++gj) {
             for (VertexId i : groups[gi]) {
               for (VertexId j : groups[gj]) {
-                ++batch.pairs_from_oracle;
-                if (!oracle_.Similar(members[i], members[j])) {
-                  pairs.AddPair(i, j);
-                }
+                EvaluatePair(i, j);
               }
             }
           }

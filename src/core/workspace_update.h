@@ -38,6 +38,12 @@ namespace krcore {
 /// sequence, the maintained workspace is *structurally identical* — same
 /// component order, same local ids, same CSR rows — to PrepareWorkspace run
 /// on the updated graph, so mining it returns byte-identical results.
+///
+/// Score-annotated workspaces (PreparedWorkspace::scored) are maintained in
+/// kind: cached rows carry their scores through restriction verbatim, and
+/// every freshly evaluated pair stores its score and is re-classified
+/// against the workspace's serve..cover interval — so a live-updated
+/// substrate keeps serving its whole (k, r) grid, not just its base cell.
 
 /// One edge mutation of the raw graph. Semantics mirror replaying the
 /// mutation on the raw edge set and re-preparing: inserting an existing

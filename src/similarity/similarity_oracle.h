@@ -1,12 +1,49 @@
 #ifndef KRCORE_SIMILARITY_SIMILARITY_ORACLE_H_
 #define KRCORE_SIMILARITY_SIMILARITY_ORACLE_H_
 
+#include <algorithm>
 #include <memory>
+#include <vector>
 
 #include "similarity/attributes.h"
 #include "similarity/metrics.h"
 
 namespace krcore {
+
+/// Threshold verdict on a precomputed metric score, shared by the oracle and
+/// every score-annotated substrate consumer (dissimilarity-index filtering,
+/// snapshot validation, workspace derivation). For similarity metrics
+/// "similar" means score >= r; for distance metrics score <= r, following
+/// the paper's convention (footnote 1 in Sec 2.1).
+inline bool ScoreSimilarUnder(double score, double r, bool is_distance) {
+  return is_distance ? score <= r : score >= r;
+}
+
+/// True iff threshold `a` is at least as strict as `b` for the metric
+/// direction: the set of score values similar under `a` is a subset of the
+/// set similar under `b`. Strictness orders the r axis of a (k,r) grid —
+/// the loosest grid threshold fixes the structure graph a score-annotated
+/// workspace is prepared at and the strictest one fixes which pairs its
+/// score annotations must cover.
+inline bool ThresholdAtLeastAsStrict(double a, double b, bool is_distance) {
+  return is_distance ? a <= b : a >= b;
+}
+
+/// The loosest / strictest thresholds of an r axis under that order. The
+/// loosest admits the most similar pairs (the largest filtered graph,
+/// hence the base workspace every grid cell's vertices nest inside); the
+/// strictest admits the fewest (the cover a score annotation must reach).
+/// `rs` must be non-empty.
+inline double LoosestThreshold(const std::vector<double>& rs,
+                               bool is_distance) {
+  return is_distance ? *std::max_element(rs.begin(), rs.end())
+                     : *std::min_element(rs.begin(), rs.end());
+}
+inline double StrictestThreshold(const std::vector<double>& rs,
+                                 bool is_distance) {
+  return is_distance ? *std::min_element(rs.begin(), rs.end())
+                     : *std::max_element(rs.begin(), rs.end());
+}
 
 /// Facade that answers "are u and v similar under threshold r?" for a fixed
 /// metric over an attribute table. This is the only interface the (k,r)-core
@@ -23,11 +60,19 @@ class SimilarityOracle {
   /// Raw metric value.
   double Value(VertexId u, VertexId v) const;
 
-  /// Threshold test with the metric-appropriate direction.
-  bool Similar(VertexId u, VertexId v) const {
-    double value = Value(u, v);
-    return is_distance_ ? value <= threshold_ : value >= threshold_;
+  /// The similarity score of {u, v} — the artifact the score-annotated
+  /// dissimilarity substrate stores so that one prepared pair sweep can
+  /// answer every threshold the stored scores cover. Every metric already
+  /// computes this value internally; Similar() is exactly SimilarAt(Score).
+  double Score(VertexId u, VertexId v) const { return Value(u, v); }
+
+  /// Threshold test on a precomputed score, in this oracle's direction.
+  bool SimilarAt(double score) const {
+    return ScoreSimilarUnder(score, threshold_, is_distance_);
   }
+
+  /// Threshold test with the metric-appropriate direction.
+  bool Similar(VertexId u, VertexId v) const { return SimilarAt(Value(u, v)); }
 
   Metric metric() const { return metric_; }
   double threshold() const { return threshold_; }

@@ -1,18 +1,24 @@
 #include "snapshot/workspace_snapshot.h"
 
 #include <algorithm>
+#include <cmath>
 #include <cstring>
 #include <fstream>
 #include <vector>
 
 #include "core/dissimilarity_index.h"
 #include "graph/graph.h"
+#include "similarity/similarity_oracle.h"
 
 namespace krcore {
 namespace {
 
 constexpr uint32_t kMetaSection = 1;
 constexpr uint32_t kComponentSection = 2;
+
+// Meta flag bits (v3).
+constexpr uint32_t kFlagScored = 1u << 0;
+constexpr uint32_t kFlagDistance = 1u << 1;
 
 uint64_t Fnv1a64(const char* data, size_t len) {
   uint64_t h = 1469598103934665603ull;
@@ -72,7 +78,7 @@ void WriteSection(std::ofstream& out, uint32_t tag,
   out.write(reinterpret_cast<const char*>(&checksum), sizeof(checksum));
 }
 
-std::string ComponentPayload(const ComponentContext& ctx) {
+std::string ComponentPayload(const ComponentContext& ctx, bool scored) {
   PayloadWriter w;
   const VertexId n = ctx.size();
   w.PutU32(n);
@@ -85,13 +91,30 @@ std::string ComponentPayload(const ComponentContext& ctx) {
   for (VertexId u = 0; u < n; ++u) w.PutU32(ctx.graph.degree(u));
   for (VertexId u = 0; u < n; ++u) w.PutU32(ctx.to_parent[u]);
   // Dissimilar pairs, upper triangle only, in (row, id) order — sorted and
-  // unique by construction, which the loader re-checks.
+  // unique by construction, which the loader re-checks. Annotated
+  // workspaces store (u, v, score) triples, active block then reserve
+  // block; unannotated ones store the v2 (u, v) pair block.
   w.PutU64(ctx.num_dissimilar_pairs());
   for (VertexId u = 0; u < n; ++u) {
-    for (VertexId v : ctx.dissimilar[u]) {
-      if (v > u) {
+    const auto row = ctx.dissimilar[u];
+    const auto scores = ctx.dissimilar.row_scores(u);
+    for (size_t i = 0; i < row.size(); ++i) {
+      if (row[i] <= u) continue;
+      w.PutU32(u);
+      w.PutU32(row[i]);
+      if (scored) w.PutDouble(scores[i]);
+    }
+  }
+  if (scored) {
+    w.PutU64(ctx.dissimilar.num_reserve_pairs());
+    for (VertexId u = 0; u < n; ++u) {
+      const auto row = ctx.dissimilar.reserve_row(u);
+      const auto scores = ctx.dissimilar.reserve_scores(u);
+      for (size_t i = 0; i < row.size(); ++i) {
+        if (row[i] <= u) continue;
         w.PutU32(u);
-        w.PutU32(v);
+        w.PutU32(row[i]);
+        w.PutDouble(scores[i]);
       }
     }
   }
@@ -131,7 +154,8 @@ Status ReadSection(std::ifstream& in, uint64_t* remaining, uint32_t* tag,
 }
 
 Status ParseComponent(const std::string& payload, uint32_t bitset_min_degree,
-                      ComponentContext* ctx) {
+                      bool scored, double threshold, double score_cover,
+                      bool is_distance, ComponentContext* ctx) {
   PayloadReader r(payload);
   uint32_t n = 0;
   uint64_t num_edges = 0;
@@ -178,27 +202,88 @@ Status ParseComponent(const std::string& payload, uint32_t bitset_min_degree,
 
   uint64_t num_pairs = 0;
   if (!r.GetU64(&num_pairs)) return Corrupt("short pair count");
-  // Divide-first bound before the size equality: a hostile pair count near
-  // 2^61 would wrap `expected + 8 * num_pairs` back into range and pass the
-  // equality check with a tiny payload.
-  if (num_pairs > (payload.size() - expected) / 8) {
+  // Divide-first bounds before any size equality: a hostile pair count near
+  // 2^61 would wrap `expected + entry * num_pairs` back into range and pass
+  // the equality check with a tiny payload. Annotated entries are 16 bytes
+  // ((u, v, score)); plain ones 8.
+  const uint64_t entry_bytes = scored ? 16 : 8;
+  if (num_pairs > (payload.size() - expected) / entry_bytes) {
     return Corrupt("declared pair count exceeds the payload");
   }
-  if (payload.size() != expected + 8 * num_pairs) {
+  if (!scored) {
+    if (payload.size() != expected + 8 * num_pairs) {
+      return Corrupt("component payload size mismatch");
+    }
+  } else if (payload.size() < expected + 16 * num_pairs + 8) {
+    // The reserve count field must still follow the active block.
     return Corrupt("component payload size mismatch");
   }
   DissimilarityIndex::Builder builder(n);
+  if (scored) builder.AnnotateScores();
+  // Active block: each pair must genuinely be dissimilar at the serving
+  // threshold, or a crafted file could inject pairs the mining hot path
+  // would honor but no preparation could have produced.
+  std::vector<uint64_t> active_keys;
+  if (scored) active_keys.reserve(static_cast<size_t>(num_pairs));
   uint64_t prev = 0;
   for (uint64_t i = 0; i < num_pairs; ++i) {
     uint32_t a = 0, b = 0;
+    double score = 0.0;
     if (!r.GetU32(&a) || !r.GetU32(&b)) return Corrupt("short pair array");
+    if (scored && !r.GetDouble(&score)) return Corrupt("short pair array");
     if (a >= b || b >= n) return Corrupt("dissimilar pair out of range");
     uint64_t packed = (uint64_t{a} << 32) | b;
     if (i > 0 && packed <= prev) {
       return Corrupt("dissimilar pairs not sorted unique");
     }
     prev = packed;
-    builder.AddPair(a, b);
+    if (scored) {
+      if (!std::isfinite(score)) return Corrupt("non-finite pair score");
+      if (ScoreSimilarUnder(score, threshold, is_distance)) {
+        return Corrupt("active pair score similar at the serving threshold");
+      }
+      active_keys.push_back(packed);
+      builder.AddScoredPair(a, b, score);
+    } else {
+      builder.AddPair(a, b);
+    }
+  }
+  if (scored) {
+    uint64_t num_reserve = 0;
+    if (!r.GetU64(&num_reserve)) return Corrupt("short pair count");
+    const uint64_t expected_active = expected + 16 * num_pairs + 8;
+    if (num_reserve > (payload.size() - expected_active) / 16) {
+      return Corrupt("declared pair count exceeds the payload");
+    }
+    if (payload.size() != expected_active + 16 * num_reserve) {
+      return Corrupt("component payload size mismatch");
+    }
+    prev = 0;
+    for (uint64_t i = 0; i < num_reserve; ++i) {
+      uint32_t a = 0, b = 0;
+      double score = 0.0;
+      if (!r.GetU32(&a) || !r.GetU32(&b) || !r.GetDouble(&score)) {
+        return Corrupt("short pair array");
+      }
+      if (a >= b || b >= n) return Corrupt("dissimilar pair out of range");
+      uint64_t packed = (uint64_t{a} << 32) | b;
+      if (i > 0 && packed <= prev) {
+        return Corrupt("reserve pairs not sorted unique");
+      }
+      prev = packed;
+      if (!std::isfinite(score)) return Corrupt("non-finite pair score");
+      // Reserve pairs sit strictly between the two thresholds: similar at
+      // serve, dissimilar at cover.
+      if (!ScoreSimilarUnder(score, threshold, is_distance) ||
+          ScoreSimilarUnder(score, score_cover, is_distance)) {
+        return Corrupt("reserve pair score outside the serve..cover band");
+      }
+      if (std::binary_search(active_keys.begin(), active_keys.end(),
+                             packed)) {
+        return Corrupt("pair listed in both active and reserve blocks");
+      }
+      builder.AddReservePair(a, b, score);
+    }
   }
   if (!r.exhausted()) return Corrupt("trailing bytes in component");
 
@@ -234,10 +319,17 @@ Status SaveWorkspaceSnapshot(const PreparedWorkspace& ws,
   meta.PutDouble(ws.threshold);
   meta.PutU32(ws.bitset_min_degree);
   meta.PutU64(ws.version);
+  uint32_t flags = 0;
+  if (ws.scored) flags |= kFlagScored;
+  if (ws.is_distance) flags |= kFlagDistance;
+  meta.PutU32(flags);
+  // Normalized to the serving threshold for unscored workspaces (a point
+  // serving interval), matching what PrepareWorkspace stamps.
+  meta.PutDouble(ws.scored ? ws.score_cover : ws.threshold);
   meta.PutU64(ws.components.size());
   WriteSection(out, kMetaSection, meta.bytes());
   for (const auto& ctx : ws.components) {
-    WriteSection(out, kComponentSection, ComponentPayload(ctx));
+    WriteSection(out, kComponentSection, ComponentPayload(ctx, ws.scored));
   }
   out.flush();
   return out.good() ? Status::OK()
@@ -265,10 +357,10 @@ Status LoadWorkspaceSnapshot(const std::string& path, PreparedWorkspace* out) {
   in.read(reinterpret_cast<char*>(&version), sizeof(version));
   remaining -= sizeof(magic) + sizeof(version);
   if (!in.good()) return Corrupt("file shorter than the header");
-  if (version != kSnapshotVersion) {
+  if (version < 1 || version > kSnapshotVersion) {
     return Status::InvalidArgument(
         "unsupported snapshot version " + std::to_string(version) +
-        " (this build reads version " + std::to_string(kSnapshotVersion) +
+        " (this build reads versions 1.." + std::to_string(kSnapshotVersion) +
         ")");
   }
 
@@ -280,10 +372,34 @@ Status LoadWorkspaceSnapshot(const std::string& path, PreparedWorkspace* out) {
   uint64_t num_components = 0;
   {
     PayloadReader r(payload);
-    if (!r.GetU32(&out->k) || !r.GetDouble(&out->threshold) ||
-        !r.GetU32(&out->bitset_min_degree) || !r.GetU64(&out->version) ||
-        !r.GetU64(&num_components) || !r.exhausted()) {
-      return Corrupt("malformed meta section");
+    bool ok = r.GetU32(&out->k) && r.GetDouble(&out->threshold) &&
+              r.GetU32(&out->bitset_min_degree);
+    // v1 predates the graph version; v3 added the annotation identity.
+    // Pre-v3 files load as unscored workspaces serving their exact
+    // threshold only.
+    out->version = 0;
+    if (version >= 2) ok = ok && r.GetU64(&out->version);
+    uint32_t flags = 0;
+    out->score_cover = out->threshold;
+    if (version >= 3) {
+      ok = ok && r.GetU32(&flags) && r.GetDouble(&out->score_cover);
+    }
+    ok = ok && r.GetU64(&num_components) && r.exhausted();
+    if (!ok) return Corrupt("malformed meta section");
+    if ((flags & ~(kFlagScored | kFlagDistance)) != 0) {
+      return Corrupt("unknown meta flag bits");
+    }
+    out->scored = (flags & kFlagScored) != 0;
+    out->is_distance = (flags & kFlagDistance) != 0;
+    if (out->scored) {
+      if (!std::isfinite(out->threshold) ||
+          !std::isfinite(out->score_cover) ||
+          !ThresholdAtLeastAsStrict(out->score_cover, out->threshold,
+                                    out->is_distance)) {
+        return Corrupt("score cover looser than the serving threshold");
+      }
+    } else if (out->score_cover != out->threshold) {
+      return Corrupt("unscored workspace with a widened score cover");
     }
   }
   // No writer can produce k = 0 (PrepareWorkspace rejects it), and the
@@ -313,7 +429,9 @@ Status LoadWorkspaceSnapshot(const std::string& path, PreparedWorkspace* out) {
       return Corrupt("unexpected section tag");
     }
     ComponentContext ctx;
-    s = ParseComponent(payload, out->bitset_min_degree, &ctx);
+    s = ParseComponent(payload, out->bitset_min_degree, out->scored,
+                       out->threshold, out->score_cover, out->is_distance,
+                       &ctx);
     if (!s.ok()) {
       out->components.clear();
       return s;

@@ -28,29 +28,41 @@ namespace krcore {
 ///
 /// Exactly one meta section comes first (k, threshold, bitset_min_degree,
 /// the monotonically increasing graph version of PreparedWorkspace::version,
-/// component count); one component section follows per component, in
-/// workspace order. Every structural invariant the engine relies on (CSR
-/// monotonicity, sorted adjacency, symmetric edges, in-range ids, sorted
-/// unique dissimilar pairs) is re-validated on load, so a corrupt or
-/// truncated file yields a clean Status error — never UB: wrong magic,
-/// unknown version, short reads, and checksum mismatches each produce a
-/// distinct InvalidArgument message. All declared counts are range-checked
-/// against the (already size-bounded) payload *before* any arithmetic that
-/// could wrap, so hostile headers cannot smuggle an overflowed size past
-/// the validators.
+/// the score-annotation identity — serve..cover interval, scored and
+/// metric-direction flags — and the component count); one component section
+/// follows per component, in workspace order. Every structural invariant
+/// the engine relies on (CSR monotonicity, sorted adjacency, symmetric
+/// edges, in-range ids, sorted unique dissimilar pairs, and for annotated
+/// files: finite scores classified on the correct side of the serve and
+/// cover thresholds, no pair listed in both segments) is re-validated on
+/// load, so a corrupt or truncated file yields a clean Status error — never
+/// UB: wrong magic, unknown version, short reads, and checksum mismatches
+/// each produce a distinct InvalidArgument message. All declared counts are
+/// range-checked against the (already size-bounded) payload *before* any
+/// arithmetic that could wrap, so hostile headers cannot smuggle an
+/// overflowed size past the validators.
 ///
-/// Format history: version 2 added the graph version to the meta section
-/// (files written by version-1 builds are rejected with the version error).
+/// Format history:
+///   v1  original layout (no graph version in meta).
+///   v2  meta gained the graph version.
+///   v3  score-annotated substrate: meta gained score_cover and the
+///       scored / is_distance flags; annotated component sections store
+///       (u, v, score) triples in two blocks — active (dissimilar at the
+///       serving threshold) then reserve (dissimilar only at the cover).
+/// Writers emit v3. Loads accept v1/v2/v3; pre-v3 files (and unannotated
+/// v3 files) load as unscored workspaces that serve their exact threshold
+/// only.
 ///
 /// Round trips are lossless: the loaded workspace's components are
 /// structurally identical to the saved ones (the dissimilarity bitset
 /// acceleration is rebuilt deterministically from the stored rows and the
 /// stored bitset_min_degree), so mining results match fresh preprocessing
-/// byte for byte.
+/// byte for byte — and a loaded annotated workspace derives every (k, r)
+/// cell of its serving interval exactly like the original.
 
 inline constexpr char kSnapshotMagic[8] = {'K', 'R', 'W', 'S',
                                            'N', 'A', 'P', '1'};
-inline constexpr uint32_t kSnapshotVersion = 2;
+inline constexpr uint32_t kSnapshotVersion = 3;
 
 /// Serializes `ws` to `path` (overwriting). Fails with NotFound when the
 /// file cannot be opened and Internal on a short write.

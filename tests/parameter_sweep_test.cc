@@ -102,8 +102,9 @@ TEST(ParameterSweep, EnumCellsMatchColdRuns) {
   SweepResult sweep = RunParameterSweep(dataset.graph, oracle, grid, options);
   ASSERT_TRUE(sweep.status.ok());
   ASSERT_EQ(sweep.cells.size(), 6u);
-  EXPECT_EQ(sweep.pair_sweeps, 2u) << "one sweep per distinct r";
-  EXPECT_EQ(sweep.derived_cells, 4u) << "k=3,4 cells derive from the k=2 base";
+  EXPECT_EQ(sweep.pair_sweeps, 1u) << "one sweep for the whole grid";
+  EXPECT_EQ(sweep.derived_cells, 5u)
+      << "every cell but the (k_min, loosest r) base derives";
 
   size_t idx = 0;
   for (double r : grid.rs) {
@@ -138,7 +139,7 @@ TEST(ParameterSweep, ReuseOffMatchesReuseOn) {
   SweepResult cold = RunParameterSweep(dataset.graph, oracle, grid, off);
   ASSERT_TRUE(warm.status.ok());
   ASSERT_TRUE(cold.status.ok());
-  EXPECT_EQ(warm.pair_sweeps, 2u);
+  EXPECT_EQ(warm.pair_sweeps, 1u);
   EXPECT_EQ(cold.pair_sweeps, 4u);
   EXPECT_EQ(cold.derived_cells, 0u);
   ASSERT_EQ(warm.cells.size(), cold.cells.size());

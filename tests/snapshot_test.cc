@@ -2,8 +2,12 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <cmath>
 #include <cstdio>
+#include <cstring>
 #include <fstream>
+#include <limits>
 #include <string>
 #include <utility>
 #include <vector>
@@ -219,26 +223,82 @@ void PutSection(std::string* out, uint32_t tag, const std::string& payload) {
   PutU64(out, Fnv(payload));
 }
 
-/// A syntactically valid meta section for `num_components` components.
+void PutDouble(std::string* s, double v) {
+  s->append(reinterpret_cast<const char*>(&v), sizeof(v));
+}
+
+/// A syntactically valid v3 meta section for `num_components` components
+/// (unscored: flags 0, cover == threshold).
 std::string MetaPayload(uint64_t num_components, uint32_t k = 2) {
   std::string meta;
   PutU32(&meta, k);
-  double threshold = 1.0;
-  meta.append(reinterpret_cast<const char*>(&threshold), sizeof(threshold));
+  PutDouble(&meta, 1.0);  // threshold
   PutU32(&meta, DissimilarityIndex::kDefaultBitsetMinDegree);
-  PutU64(&meta, 0);  // graph version
+  PutU64(&meta, 0);       // graph version
+  PutU32(&meta, 0);       // flags: unscored
+  PutDouble(&meta, 1.0);  // score cover == threshold
+  PutU64(&meta, num_components);
+  return meta;
+}
+
+/// Pre-v3 meta layouts, for the format-compatibility tests: v2 carries the
+/// graph version, v1 predates it. Both have no annotation identity.
+std::string MetaPayloadV2(uint64_t num_components, uint32_t k,
+                          double threshold, uint64_t graph_version) {
+  std::string meta;
+  PutU32(&meta, k);
+  PutDouble(&meta, threshold);
+  PutU32(&meta, DissimilarityIndex::kDefaultBitsetMinDegree);
+  PutU64(&meta, graph_version);
+  PutU64(&meta, num_components);
+  return meta;
+}
+std::string MetaPayloadV1(uint64_t num_components, uint32_t k,
+                          double threshold) {
+  std::string meta;
+  PutU32(&meta, k);
+  PutDouble(&meta, threshold);
+  PutU32(&meta, DissimilarityIndex::kDefaultBitsetMinDegree);
   PutU64(&meta, num_components);
   return meta;
 }
 
 std::string FileWithSections(
-    const std::vector<std::pair<uint32_t, std::string>>& sections) {
+    const std::vector<std::pair<uint32_t, std::string>>& sections,
+    uint32_t file_version = kSnapshotVersion) {
   std::string bytes(kSnapshotMagic, sizeof(kSnapshotMagic));
-  PutU32(&bytes, kSnapshotVersion);
+  PutU32(&bytes, file_version);
   for (const auto& [tag, payload] : sections) {
     PutSection(&bytes, tag, payload);
   }
   return bytes;
+}
+
+/// A v1/v2-style component payload: unscored (u, v) pair block. Layout is
+/// identical to what pre-v3 writers emitted.
+std::string PlainComponentPayload(
+    uint32_t n, const std::vector<std::pair<uint32_t, uint32_t>>& edges,
+    const std::vector<std::pair<uint32_t, uint32_t>>& pairs) {
+  std::vector<std::vector<uint32_t>> adj(n);
+  for (auto [u, v] : edges) {
+    adj[u].push_back(v);
+    adj[v].push_back(u);
+  }
+  for (auto& row : adj) std::sort(row.begin(), row.end());
+  std::string comp;
+  PutU32(&comp, n);
+  PutU64(&comp, edges.size());
+  for (const auto& row : adj) {
+    for (uint32_t v : row) PutU32(&comp, v);
+  }
+  for (const auto& row : adj) PutU32(&comp, static_cast<uint32_t>(row.size()));
+  for (uint32_t u = 0; u < n; ++u) PutU32(&comp, u);  // to_parent: identity
+  PutU64(&comp, pairs.size());
+  for (auto [a, b] : pairs) {
+    PutU32(&comp, a);
+    PutU32(&comp, b);
+  }
+  return comp;
 }
 
 TEST(Snapshot, AsymmetricAdjacencyIsRejected) {
@@ -329,6 +389,194 @@ TEST(Snapshot, HostileComponentCountIsRejectedUpFront) {
   EXPECT_TRUE(s.IsInvalidArgument());
   EXPECT_NE(s.message().find("component count exceeds"), std::string::npos)
       << s.ToString();
+}
+
+// --- Format history: v1 and v2 files must keep loading (as unscored,
+// single-r workspaces), and saving them re-emits v3. ------------------------
+
+TEST(Snapshot, V2FileLoadsAsSingleThresholdWorkspaceAndResavesAsV3) {
+  // A 4-cycle with the two diagonals dissimilar — a valid 2-core substrate
+  // in the exact byte layout version-2 builds wrote.
+  std::string comp = PlainComponentPayload(
+      4, {{0, 1}, {1, 2}, {2, 3}, {0, 3}}, {{0, 2}, {1, 3}});
+  TempFile file("v2.krws");
+  WriteAll(file.path(),
+           FileWithSections(
+               {{1, MetaPayloadV2(1, /*k=*/2, /*threshold=*/1.0,
+                                  /*graph_version=*/7)},
+                {2, comp}},
+               /*file_version=*/2));
+  PreparedWorkspace loaded;
+  ASSERT_TRUE(LoadWorkspaceSnapshot(file.path(), &loaded).ok());
+  EXPECT_EQ(loaded.k, 2u);
+  EXPECT_EQ(loaded.version, 7u);
+  EXPECT_FALSE(loaded.scored);
+  EXPECT_DOUBLE_EQ(loaded.score_cover, loaded.threshold)
+      << "pre-v3 files serve their exact threshold only";
+  ASSERT_EQ(loaded.components.size(), 1u);
+  EXPECT_EQ(loaded.components[0].num_dissimilar_pairs(), 2u);
+  EXPECT_FALSE(loaded.components[0].dissimilar.has_scores());
+
+  // Deriving at any other threshold must be rejected cleanly.
+  PipelineOptions pipe;
+  PreparedWorkspace derived;
+  EXPECT_TRUE(
+      DeriveWorkspace(loaded, 2, 0.5, pipe, &derived).IsInvalidArgument());
+
+  // Re-saving writes the current version; the round trip stays lossless.
+  TempFile resaved("v2_resaved.krws");
+  ASSERT_TRUE(SaveWorkspaceSnapshot(loaded, resaved.path()).ok());
+  std::string bytes = ReadAll(resaved.path());
+  uint32_t written_version = 0;
+  std::memcpy(&written_version, bytes.data() + 8, sizeof(written_version));
+  EXPECT_EQ(written_version, kSnapshotVersion);
+  PreparedWorkspace reloaded;
+  ASSERT_TRUE(LoadWorkspaceSnapshot(resaved.path(), &reloaded).ok());
+  EXPECT_EQ(reloaded.version, 7u);
+  ExpectComponentsEqual(loaded.components, reloaded.components);
+}
+
+TEST(Snapshot, V1FileLoadsWithGraphVersionZero) {
+  std::string comp = PlainComponentPayload(
+      3, {{0, 1}, {1, 2}, {0, 2}}, {});
+  TempFile file("v1.krws");
+  WriteAll(file.path(),
+           FileWithSections({{1, MetaPayloadV1(1, /*k=*/2,
+                                               /*threshold=*/0.25)},
+                             {2, comp}},
+                            /*file_version=*/1));
+  PreparedWorkspace loaded;
+  ASSERT_TRUE(LoadWorkspaceSnapshot(file.path(), &loaded).ok());
+  EXPECT_EQ(loaded.k, 2u);
+  EXPECT_EQ(loaded.version, 0u) << "v1 predates the graph version";
+  EXPECT_FALSE(loaded.scored);
+  EXPECT_DOUBLE_EQ(loaded.threshold, 0.25);
+  ASSERT_EQ(loaded.components.size(), 1u);
+}
+
+// --- Hostile v3 score annotations: every classification invariant the
+// derivation layer relies on is enforced at the ingress. --------------------
+
+namespace hostile_v3 {
+
+/// Meta for a scored similarity-metric workspace: serve r=0.5, cover r=0.8.
+std::string ScoredMeta(uint64_t num_components, double threshold = 0.5,
+                       double cover = 0.8, uint32_t flags = 1) {
+  std::string meta;
+  PutU32(&meta, 2);  // k
+  PutDouble(&meta, threshold);
+  PutU32(&meta, DissimilarityIndex::kDefaultBitsetMinDegree);
+  PutU64(&meta, 0);  // graph version
+  PutU32(&meta, flags);
+  PutDouble(&meta, cover);
+  PutU64(&meta, num_components);
+  return meta;
+}
+
+/// A triangle component with one active and one reserve (u,v,score) entry,
+/// scores supplied by the test.
+std::string ScoredComponent(double active_score, double reserve_score) {
+  std::string comp;
+  PutU32(&comp, 3);  // n
+  PutU64(&comp, 3);  // triangle
+  // adjacency rows: 0:[1,2] 1:[0,2] 2:[0,1]
+  const uint32_t adjacency[] = {1, 2, 0, 2, 0, 1};
+  for (uint32_t v : adjacency) PutU32(&comp, v);
+  for (int i = 0; i < 3; ++i) PutU32(&comp, 2);       // degrees
+  for (uint32_t u = 0; u < 3; ++u) PutU32(&comp, u);  // to_parent
+  PutU64(&comp, 1);  // active pairs
+  PutU32(&comp, 0);
+  PutU32(&comp, 1);
+  PutDouble(&comp, active_score);
+  PutU64(&comp, 1);  // reserve pairs
+  PutU32(&comp, 1);
+  PutU32(&comp, 2);
+  PutDouble(&comp, reserve_score);
+  return comp;
+}
+
+}  // namespace hostile_v3
+
+TEST(Snapshot, ScoredPairOnWrongSideOfThresholdIsRejected) {
+  using hostile_v3::ScoredComponent;
+  using hostile_v3::ScoredMeta;
+  struct Case {
+    double active, reserve;
+    const char* expect;
+  };
+  // Similarity metric, serve 0.5, cover 0.8: active needs score < 0.5,
+  // reserve needs 0.5 <= score < 0.8.
+  const Case cases[] = {
+      {0.6, 0.6, "active pair score similar"},
+      {0.3, 0.9, "outside the serve..cover band"},
+      {0.3, 0.3, "outside the serve..cover band"},
+      {std::numeric_limits<double>::quiet_NaN(), 0.6, "non-finite"},
+      {0.3, std::numeric_limits<double>::infinity(), "non-finite"},
+  };
+  for (const Case& c : cases) {
+    TempFile file("hostile_scored.krws");
+    WriteAll(file.path(),
+             FileWithSections({{1, ScoredMeta(1)},
+                               {2, ScoredComponent(c.active, c.reserve)}}));
+    PreparedWorkspace loaded;
+    Status s = LoadWorkspaceSnapshot(file.path(), &loaded);
+    EXPECT_TRUE(s.IsInvalidArgument())
+        << "active=" << c.active << " reserve=" << c.reserve;
+    EXPECT_NE(s.message().find(c.expect), std::string::npos) << s.ToString();
+    EXPECT_TRUE(loaded.components.empty());
+  }
+}
+
+TEST(Snapshot, PairListedInBothBlocksIsRejected) {
+  using hostile_v3::ScoredMeta;
+  std::string comp;
+  PutU32(&comp, 3);
+  PutU64(&comp, 3);
+  const uint32_t adjacency[] = {1, 2, 0, 2, 0, 1};
+  for (uint32_t v : adjacency) PutU32(&comp, v);
+  for (int i = 0; i < 3; ++i) PutU32(&comp, 2);
+  for (uint32_t u = 0; u < 3; ++u) PutU32(&comp, u);
+  PutU64(&comp, 1);
+  PutU32(&comp, 0);  // active {0,1} @ 0.3
+  PutU32(&comp, 1);
+  PutDouble(&comp, 0.3);
+  PutU64(&comp, 1);
+  PutU32(&comp, 0);  // the same pair again, as reserve @ 0.6
+  PutU32(&comp, 1);
+  PutDouble(&comp, 0.6);
+  TempFile file("dup_blocks.krws");
+  WriteAll(file.path(),
+           FileWithSections({{1, ScoredMeta(1)}, {2, comp}}));
+  PreparedWorkspace loaded;
+  Status s = LoadWorkspaceSnapshot(file.path(), &loaded);
+  EXPECT_TRUE(s.IsInvalidArgument());
+  EXPECT_NE(s.message().find("both active and reserve"), std::string::npos)
+      << s.ToString();
+}
+
+TEST(Snapshot, MalformedScoredMetaIsRejected) {
+  using hostile_v3::ScoredMeta;
+  // Cover looser than serve (similarity metric: smaller), unknown flag
+  // bits, and a widened cover on an unscored file.
+  const std::string bad_metas[] = {
+      ScoredMeta(0, /*threshold=*/0.5, /*cover=*/0.3, /*flags=*/1),
+      ScoredMeta(0, 0.5, 0.8, /*flags=*/8),
+      ScoredMeta(0, 0.5, 0.8, /*flags=*/0),
+  };
+  const char* expects[] = {
+      "score cover looser",
+      "unknown meta flag bits",
+      "unscored workspace with a widened score cover",
+  };
+  for (size_t i = 0; i < 3; ++i) {
+    TempFile file("bad_meta.krws");
+    WriteAll(file.path(), FileWithSections({{1, bad_metas[i]}}));
+    PreparedWorkspace loaded;
+    Status s = LoadWorkspaceSnapshot(file.path(), &loaded);
+    EXPECT_TRUE(s.IsInvalidArgument()) << "case " << i;
+    EXPECT_NE(s.message().find(expects[i]), std::string::npos)
+        << s.ToString();
+  }
 }
 
 TEST(Snapshot, TrailingGarbageIsRejected) {
