@@ -1,0 +1,263 @@
+// Measures the filter-and-verify similarity self-join against the brute
+// O(n^2) pair sweep it replaced, on component-shaped member sets (a
+// prepared component is a similarity-dense cluster — the only regime where
+// materializing the dissimilarity substrate is affordable at all, and the
+// regime PrepareComponents actually joins in).
+//
+//   GeoJoin    kEuclideanDistance over a dense core + far outliers: the
+//              grid filter settles the core with bulk box certificates and
+//              certifies the outliers dissimilar, all without oracle calls
+//              — the asymptotic headline (brute pays n(n-1)/2 metric
+//              evaluations either way).
+//   TokenJoin  kJaccard over keyword sets with a shared hot vocabulary:
+//              the prefix/size/disjointness certificates prune the
+//              dissimilar tail the brute sweep evaluates one pair at a
+//              time.
+//
+// Member sets run to 4x and beyond the largest per-component sweep any
+// existing bench pays (the geo series tops out at the full 40k-vertex
+// serving-dataset scale as ONE member set). Every (dataset, n) cell runs
+// both strategies and diffs the built indexes row by row, scores bitwise —
+// the run *exits non-zero* on any divergence, so the bench doubles as an
+// at-scale equivalence check in the CI bench-smoke job.
+//
+// Usage: bench_self_join [--scale=] [--threads=] [--quick]
+//                        [--json=BENCH_join.json] [--csv=]
+
+#include <atomic>
+#include <bit>
+#include <cmath>
+#include <cstdio>
+#include <numeric>
+#include <string>
+#include <vector>
+
+#include "bench_support/experiment.h"
+#include "similarity/join/self_join.h"
+#include "util/options.h"
+#include "util/random.h"
+#include "util/timer.h"
+
+using namespace krcore;
+
+namespace {
+
+constexpr double kTau = 6.283185307179586;
+
+/// Component-shaped geo member set: `n` points with a dense similar core
+/// (the similarity-dense cluster a prepared component is) plus a few far
+/// outliers, so the stored pair count stays linear in n while brute still
+/// sweeps all n(n-1)/2. Core radius 0.2r keeps every pair of core cell
+/// boxes certifiably similar (joint diagonal < r) even when the core
+/// straddles grid lines, so the whole core settles via bulk skips; the
+/// outliers settle via per-pair dissimilarity certificates. Near-threshold
+/// verification pressure is the token series' and the unit-test boundary
+/// sweeps' job — a threshold-straddling ring here would share grid cells
+/// with the core and only measure the filter's (deliberate) refusal to
+/// certify what its boxes cannot separate.
+AttributeTable GeoMembers(uint32_t n, double r, uint64_t seed) {
+  Rng rng(seed);
+  const uint32_t outliers = std::min<uint32_t>(64, n / 10);
+  std::vector<GeoPoint> points(n);
+  for (uint32_t i = 0; i < n; ++i) {
+    const double angle = rng.NextDouble() * kTau;
+    const double dist = i < outliers ? r * (10.0 + 5.0 * rng.NextDouble())
+                                     : 0.2 * r * rng.NextDouble();
+    points[i] = {dist * std::cos(angle), dist * std::sin(angle)};
+  }
+  return AttributeTable::ForGeo(std::move(points));
+}
+
+/// Keyword member set with a hot shared vocabulary plus a Zipf tail: pairs
+/// sharing only tail tokens fall to the disjointness/prefix certificates,
+/// hot-vocabulary pairs go to verification — a realistic mix of prunable
+/// and near-threshold work.
+AttributeTable TokenMembers(uint32_t n, uint64_t seed) {
+  Rng rng(seed);
+  const uint32_t hot = 8;
+  const uint32_t universe = 64 + n / 8;
+  std::vector<SparseVector> vectors(n);
+  for (auto& v : vectors) {
+    std::vector<uint32_t> terms;
+    const uint32_t sz = 3 + static_cast<uint32_t>(rng.NextBounded(5));
+    for (uint32_t j = 0; j < sz; ++j) {
+      if (rng.NextBernoulli(0.5)) {
+        terms.push_back(static_cast<uint32_t>(rng.NextBounded(hot)));
+      } else {
+        terms.push_back(
+            hot + static_cast<uint32_t>(rng.NextZipf(universe, 1.1)));
+      }
+    }
+    v = SparseVector(std::move(terms));
+  }
+  return AttributeTable::ForVectors(std::move(vectors));
+}
+
+struct JoinRun {
+  DissimilarityIndex index;
+  JoinReport report;
+  double seconds = 0.0;
+};
+
+JoinRun RunJoin(const SimilarityOracle& oracle, uint32_t n,
+                JoinStrategy strategy, uint32_t threads) {
+  std::vector<VertexId> members(n);
+  std::iota(members.begin(), members.end(), 0);
+  DissimilarityIndex::Builder builder(n);
+  SelfJoinOptions options;
+  options.strategy = strategy;
+  options.num_threads = threads;
+  std::atomic<bool> aborted{false};
+  Timer timer;
+  JoinRun run;
+  run.report = SelfJoinPairs(oracle, members, options, &aborted, &builder);
+  run.index = builder.Build();
+  run.seconds = timer.ElapsedSeconds();
+  return run;
+}
+
+bool SameBits(double a, double b) {
+  return std::bit_cast<uint64_t>(a) == std::bit_cast<uint64_t>(b);
+}
+
+/// Row-by-row diff of the two built indexes, scores bitwise. Any mismatch
+/// is a correctness bug in a filter certificate.
+bool IndexesIdentical(const DissimilarityIndex& a,
+                      const DissimilarityIndex& b) {
+  if (a.num_vertices() != b.num_vertices()) return false;
+  if (a.num_pairs() != b.num_pairs()) return false;
+  if (a.num_reserve_pairs() != b.num_reserve_pairs()) return false;
+  for (VertexId u = 0; u < a.num_vertices(); ++u) {
+    auto ar = a.row(u);
+    auto br = b.row(u);
+    if (!std::equal(ar.begin(), ar.end(), br.begin(), br.end())) return false;
+    auto as = a.row_scores(u);
+    auto bs = b.row_scores(u);
+    if (as.size() != bs.size()) return false;
+    for (size_t i = 0; i < as.size(); ++i) {
+      if (!SameBits(as[i], bs[i])) return false;
+    }
+  }
+  return true;
+}
+
+Measurement MeasureJoin(const std::string& series, const std::string& x,
+                        const JoinRun& run) {
+  Measurement m;
+  m.series = series;
+  m.x_label = x;
+  m.seconds = run.seconds;
+  m.result_count = run.index.num_pairs();
+  m.stats.oracle_calls = run.report.oracle_calls;
+  m.stats.seconds = run.seconds;
+  return m;
+}
+
+/// Runs one (dataset, n) cell under both strategies, records both
+/// measurements, prints the prune-rate line, and reports divergence.
+bool RunCell(FigureReport* report, const std::string& x,
+             const SimilarityOracle& oracle, uint32_t n, uint32_t threads) {
+  JoinRun brute = RunJoin(oracle, n, JoinStrategy::kBrute, threads);
+  JoinRun filtered = RunJoin(oracle, n, JoinStrategy::kFiltered, threads);
+  report->Add(MeasureJoin("Brute", x, brute));
+  report->Add(MeasureJoin("Filtered", x, filtered));
+
+  const JoinReport& fr = filtered.report;
+  const double prune_rate =
+      fr.total_pairs == 0
+          ? 0.0
+          : static_cast<double>(fr.pruned_pairs) /
+                static_cast<double>(fr.total_pairs);
+  std::printf(
+      "%-14s pairs=%llu pruned=%.2f%% oracle_calls=%llu (brute %llu) "
+      "speedup=%.1fx\n",
+      x.c_str(), (unsigned long long)fr.total_pairs, 100.0 * prune_rate,
+      (unsigned long long)fr.oracle_calls,
+      (unsigned long long)brute.report.oracle_calls,
+      filtered.seconds > 0.0 ? brute.seconds / filtered.seconds : 0.0);
+
+  bool ok = true;
+  if (!IndexesIdentical(brute.index, filtered.index)) {
+    std::fprintf(stderr,
+                 "DIVERGENCE (BUG): filtered join at %s differs from the "
+                 "brute baseline\n",
+                 x.c_str());
+    ok = false;
+  }
+  if (fr.pruned_pairs + fr.oracle_calls != fr.total_pairs) {
+    std::fprintf(stderr,
+                 "DIVERGENCE (BUG): counter identity broken at %s: "
+                 "pruned %llu + oracle %llu != total %llu\n",
+                 x.c_str(), (unsigned long long)fr.pruned_pairs,
+                 (unsigned long long)fr.oracle_calls,
+                 (unsigned long long)fr.total_pairs);
+    ok = false;
+  }
+  if (!fr.filtered) {
+    std::fprintf(stderr,
+                 "DIVERGENCE (BUG): no certified filter ran at %s (fell "
+                 "back to brute)\n",
+                 x.c_str());
+    ok = false;
+  }
+  return ok;
+}
+
+std::string CellLabel(const char* dataset, uint32_t n) {
+  char buf[48];
+  std::snprintf(buf, sizeof(buf), "%s,n=%u", dataset, n);
+  return buf;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  OptionParser options(argc, argv);
+  auto env = ExperimentEnv::FromOptions(options);
+
+  std::vector<uint32_t> geo_sizes, token_sizes;
+  if (env.quick) {
+    geo_sizes = {2000, 4000};
+    token_sizes = {1000, 2000};
+  } else {
+    geo_sizes = {10000, 20000, 40000};
+    token_sizes = {2000, 4000, 8000};
+  }
+  for (auto& n : geo_sizes) n = static_cast<uint32_t>(n * env.scale);
+  for (auto& n : token_sizes) n = static_cast<uint32_t>(n * env.scale);
+  const uint32_t threads = env.threads;
+  bool ok = true;
+
+  FigureReport geo_report(
+      "GeoJoin", "grid filter-and-verify vs brute pair sweep (Euclidean)");
+  std::printf("--- GeoJoin: r=1km, core+outlier member sets ---\n");
+  for (uint32_t n : geo_sizes) {
+    AttributeTable attrs = GeoMembers(n, 1.0, env.seed);
+    SimilarityOracle oracle(&attrs, Metric::kEuclideanDistance, 1.0);
+    ok &= RunCell(&geo_report, CellLabel("geo", n), oracle, n, threads);
+  }
+  geo_report.Finish(env);
+
+  FigureReport token_report(
+      "TokenJoin", "prefix/size filter-and-verify vs brute sweep (Jaccard)");
+  std::printf("--- TokenJoin: t=0.5, hot-vocabulary keyword sets ---\n");
+  for (uint32_t n : token_sizes) {
+    AttributeTable attrs = TokenMembers(n, env.seed);
+    SimilarityOracle oracle(&attrs, Metric::kJaccard, 0.5);
+    ok &= RunCell(&token_report, CellLabel("jaccard", n), oracle, n, threads);
+  }
+  token_report.Finish(env);
+
+  if (!env.json_path.empty()) {
+    WriteJsonReport(env.json_path, "bench_self_join",
+                    "exact filter-and-verify self-join vs brute O(n^2) "
+                    "sweep: wall time, prune rates, oracle calls, with "
+                    "row-level equivalence checked",
+                    "bench_self_join", env, {&geo_report, &token_report});
+  }
+  if (!ok) {
+    std::fprintf(stderr, "bench_self_join: FAILED equivalence checks\n");
+    return 1;
+  }
+  return 0;
+}

@@ -60,6 +60,7 @@ OPTIONAL_MEASUREMENT_FIELDS = {
     "prepare_derivations": int,
     "derive_r_restrictions": int,
     "score_filtered_pairs": int,
+    "oracle_calls": int,
 }
 
 

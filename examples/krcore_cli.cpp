@@ -211,6 +211,9 @@ int main(int argc, char** argv) {
         "krcore_cli --dataset=brightkite|gowalla|dblp|pokec [--scale=S] "
         "--k=K (--r=R | --permille=P) [--mode=...]\n"
         "  --threads=N       0 = all hardware cores, 1 = sequential\n"
+        "  --join=S          pair-discovery strategy for the preprocessing\n"
+        "                    self-join: auto (default; certified filter when\n"
+        "                    one applies), brute (O(n^2) baseline), filtered\n"
         "  --split_depth=D   fork subtree tasks down to depth D (default 6,\n"
         "                    0 = per-component parallelism only)\n"
         "  --bound_refresh=N recompute the expensive size bound at most\n"
@@ -259,10 +262,15 @@ int main(int argc, char** argv) {
   if (mode != "enum" && mode != "max") {
     return Fail("unknown --mode (use enum or max)");
   }
+  JoinStrategy join_strategy = JoinStrategy::kAuto;
+  if (!ParseJoinStrategy(options.GetString("join", "auto"), &join_strategy)) {
+    return Fail("unknown --join (use auto, brute or filtered)");
+  }
 
   auto MakeEnumOptions = [&](uint32_t k) {
     EnumOptions opts = AdvEnumOptions(k);
     opts.deadline = Deadline::AfterSeconds(timeout);
+    opts.join_strategy = join_strategy;
     opts.parallel.num_threads = threads;
     opts.parallel.split_depth = split_depth;
     return opts;
@@ -270,6 +278,7 @@ int main(int argc, char** argv) {
   auto MakeMaxOptions = [&](uint32_t k) {
     MaxOptions opts = AdvMaxOptions(k);
     opts.deadline = Deadline::AfterSeconds(timeout);
+    opts.join_strategy = join_strategy;
     opts.parallel.num_threads = threads;
     opts.parallel.split_depth = split_depth;
     opts.bound_refresh = static_cast<uint32_t>(bound_refresh);
@@ -450,6 +459,7 @@ int main(int argc, char** argv) {
     PipelineOptions pipe;
     pipe.k = k;
     pipe.deadline = Deadline::AfterSeconds(timeout);
+    pipe.join_strategy = join_strategy;
     pipe.preprocess.num_threads = threads;
     if (options.Has("cover")) {
       pipe.score_cover = options.GetDouble("cover", r);
@@ -462,6 +472,7 @@ int main(int argc, char** argv) {
 
     WorkspaceUpdater updater(dataset.graph, oracle, &ws);
     UpdateOptions update_options;
+    update_options.join_strategy = join_strategy;
     // One result section per mining call lands in --out/stdout; a comment
     // header tags each section with the graph version it was mined at, so
     // consumers can split the stream and tell stale sections from the
@@ -530,6 +541,7 @@ int main(int argc, char** argv) {
       PipelineOptions pipe;
       pipe.k = *std::min_element(grid.ks.begin(), grid.ks.end());
       pipe.deadline = Deadline::AfterSeconds(timeout);
+      pipe.join_strategy = join_strategy;
       pipe.preprocess.num_threads = threads;
       pipe.score_cover = r_cover;
       PreparedWorkspace ws;
@@ -562,6 +574,7 @@ int main(int argc, char** argv) {
     PipelineOptions pipe;
     pipe.k = k;
     pipe.deadline = Deadline::AfterSeconds(timeout);
+    pipe.join_strategy = join_strategy;
     pipe.preprocess.num_threads = threads;
     if (options.Has("cover")) {
       pipe.score_cover = options.GetDouble("cover", r);

@@ -197,7 +197,8 @@ void WriteJsonReport(const std::string& path, const std::string& bench,
           << "      \"derive_r_restrictions\": "
           << m.stats.derive_r_restrictions << ",\n"
           << "      \"score_filtered_pairs\": "
-          << m.stats.score_filtered_pairs << "\n"
+          << m.stats.score_filtered_pairs << ",\n"
+          << "      \"oracle_calls\": " << m.stats.oracle_calls << "\n"
           << "    }";
     }
   }

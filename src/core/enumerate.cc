@@ -272,14 +272,18 @@ MaximalCoresResult EnumerateMaximalCores(const Graph& g,
   pipe.k = options.k;
   pipe.preprocess = options.preprocess;
   pipe.preprocess.num_threads = threads;
+  pipe.join_strategy = options.join_strategy;
   pipe.deadline = options.deadline;
   std::vector<ComponentContext> components;
-  Status prepared = PrepareComponents(g, oracle, pipe, &components);
+  PreprocessReport prep_report;
+  Status prepared = PrepareComponents(g, oracle, pipe, &components,
+                                      &prep_report);
   const double prepare_seconds = timer.ElapsedSeconds();
   if (!prepared.ok()) {
     MaximalCoresResult result;
     result.status = prepared;
     result.stats.prepare_pair_sweeps = 1;
+    result.stats.oracle_calls = prep_report.oracle_calls;
     result.stats.prepare_seconds = prepare_seconds;
     result.stats.seconds = prepare_seconds;
     return result;
@@ -287,6 +291,7 @@ MaximalCoresResult EnumerateMaximalCores(const Graph& g,
 
   MaximalCoresResult result = EnumerateMaximalCores(components, options);
   result.stats.prepare_pair_sweeps = 1;
+  result.stats.oracle_calls = prep_report.oracle_calls;
   result.stats.prepare_seconds = prepare_seconds;
   result.stats.seconds = timer.ElapsedSeconds();
   return result;

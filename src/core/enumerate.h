@@ -50,6 +50,11 @@ struct EnumOptions {
   /// Shared preprocessing knobs (blocked pair builder, optional budget).
   PreprocessOptions preprocess;
 
+  /// Pair-discovery strategy for the preparation's similarity self-join
+  /// (forwarded to PipelineOptions::join_strategy; results are identical
+  /// for every strategy).
+  JoinStrategy join_strategy = JoinStrategy::kAuto;
+
   /// Parallel search: component roots plus intra-component subtree tasks
   /// (forked down to parallel.split_depth) on one shared work-stealing
   /// pool. Completed runs return an identical result set for every thread

@@ -72,6 +72,7 @@ void MiningStats::MergeFrom(const MiningStats& other) {
   task_steals += other.task_steals;
   prepare_pair_sweeps += other.prepare_pair_sweeps;
   prepare_derivations += other.prepare_derivations;
+  oracle_calls += other.oracle_calls;
   derive_r_restrictions += other.derive_r_restrictions;
   score_filtered_pairs += other.score_filtered_pairs;
   update_batches += other.update_batches;
@@ -95,6 +96,7 @@ std::string MiningStats::ToString() const {
      << " promotions=" << promotions << " mc_calls=" << maximal_check_calls
      << " comps=" << components << " tasks=" << tasks_spawned
      << " steals=" << task_steals << " sweeps=" << prepare_pair_sweeps
+     << " oracle_calls=" << oracle_calls
      << " derived=" << prepare_derivations
      << " r_restrict=" << derive_r_restrictions
      << " score_filtered=" << score_filtered_pairs;

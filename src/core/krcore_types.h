@@ -79,6 +79,12 @@ struct MiningStats {
   // wall time spent preparing/deriving (included in `seconds`).
   uint64_t prepare_pair_sweeps = 0;
   uint64_t prepare_derivations = 0;
+  // Metric evaluations the preparation's similarity self-join actually ran
+  // (0 when served from a cached/derived workspace). With the brute join
+  // this equals the full pair space; the filtered join settles most pairs
+  // with certified bounds instead, and this counter is what makes that
+  // visible per mining call.
+  uint64_t oracle_calls = 0;
   // Score-substrate provenance: derivations that additionally restricted
   // the serving threshold (served a stricter r than the cached workspace's
   // by filtering its score annotation) and how many stored scores those

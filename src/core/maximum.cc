@@ -318,15 +318,19 @@ MaximumCoreResult FindMaximumCore(const Graph& g,
   pipe.k = options.k;
   pipe.preprocess = options.preprocess;
   pipe.preprocess.num_threads = threads;
+  pipe.join_strategy = options.join_strategy;
   pipe.deadline = options.deadline;
   pipe.order_by_max_degree = true;  // search the densest part first
   std::vector<ComponentContext> components;
-  Status prepared = PrepareComponents(g, oracle, pipe, &components);
+  PreprocessReport prep_report;
+  Status prepared = PrepareComponents(g, oracle, pipe, &components,
+                                      &prep_report);
   const double prepare_seconds = timer.ElapsedSeconds();
   if (!prepared.ok()) {
     MaximumCoreResult result;
     result.status = prepared;
     result.stats.prepare_pair_sweeps = 1;
+    result.stats.oracle_calls = prep_report.oracle_calls;
     result.stats.prepare_seconds = prepare_seconds;
     result.stats.seconds = prepare_seconds;
     return result;
@@ -334,6 +338,7 @@ MaximumCoreResult FindMaximumCore(const Graph& g,
 
   MaximumCoreResult result = FindMaximumCore(components, options);
   result.stats.prepare_pair_sweeps = 1;
+  result.stats.oracle_calls = prep_report.oracle_calls;
   result.stats.prepare_seconds = prepare_seconds;
   result.stats.seconds = timer.ElapsedSeconds();
   return result;

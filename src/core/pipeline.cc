@@ -17,14 +17,16 @@ namespace krcore {
 namespace {
 
 /// Builds one component's context: induced structure graph plus the flat
-/// dissimilarity index, evaluating vertex pairs tile by tile so both
-/// attribute ranges stay cache-resident during the O(n^2) sweep. The
-/// deadline is polled every few thousand evaluations; on expiry (or when
-/// another worker already expired via *aborted) the build stops early and
-/// the returned context must be discarded. Returns the builder's peak
-/// transient byte count through *transient_bytes.
+/// dissimilarity index, with pair discovery delegated to the self-join
+/// engine (src/similarity/join/) under options.join_strategy — the brute
+/// tiled sweep or the certified filter-and-verify join, which produce
+/// bit-identical substrates. The deadline is polled every few thousand
+/// pair operations; on expiry (or when another worker already expired via
+/// *aborted) the build stops early and the returned context must be
+/// discarded. Returns the builder's peak transient byte count through
+/// *transient_bytes and the join's work accounting through *join_report.
 ///
-/// With options.score_cover set, the same sweep is score-annotating: the
+/// With options.score_cover set, the same join is score-annotating: the
 /// score each metric evaluation already computes is kept, pairs dissimilar
 /// at the serving threshold go in active, pairs dissimilar only at the
 /// cover threshold go in reserve — no extra oracle work, just storage.
@@ -32,55 +34,28 @@ ComponentContext BuildComponent(const Graph& similar_only,
                                 const SimilarityOracle& oracle,
                                 const std::vector<VertexId>& comp,
                                 const PipelineOptions& options,
+                                uint32_t join_threads,
                                 std::atomic<bool>* aborted,
-                                uint64_t* transient_bytes) {
+                                uint64_t* transient_bytes,
+                                JoinReport* join_report) {
   const PreprocessOptions& opts = options.preprocess;
-  const Deadline& deadline = options.deadline;
   ComponentContext ctx;
   auto induced = BuildInducedSubgraph(similar_only, comp);
   ctx.graph = std::move(induced.graph);
   ctx.to_parent = std::move(induced.to_parent);
 
-  const bool annotate = options.annotate_scores();
-  const double cover = options.score_cover;
-  const bool is_distance = oracle.is_distance();
-  const VertexId n = ctx.size();
-  const VertexId tile = std::max<VertexId>(1, opts.tile_size);
-  DissimilarityIndex::Builder builder(n);
-  if (annotate) builder.AnnotateScores();
-  uint64_t since_poll = 0;
-  for (VertexId a0 = 0; a0 < n; a0 += tile) {
-    const VertexId a1 = std::min<VertexId>(a0 + tile, n);
-    for (VertexId b0 = a0; b0 < n; b0 += tile) {
-      const VertexId b1 = std::min<VertexId>(b0 + tile, n);
-      for (VertexId a = a0; a < a1; ++a) {
-        const VertexId pa = ctx.to_parent[a];
-        const VertexId b_begin = std::max<VertexId>(b0, a + 1);
-        if ((since_poll += b1 - b_begin) >= 8192) {
-          since_poll = 0;
-          if (aborted->load(std::memory_order_relaxed) ||
-              deadline.Expired()) {
-            aborted->store(true, std::memory_order_relaxed);
-            *transient_bytes = builder.MemoryBytes();
-            return ctx;
-          }
-        }
-        if (annotate) {
-          for (VertexId b = b_begin; b < b1; ++b) {
-            const double s = oracle.Score(pa, ctx.to_parent[b]);
-            if (!oracle.SimilarAt(s)) {
-              builder.AddScoredPair(a, b, s);
-            } else if (!ScoreSimilarUnder(s, cover, is_distance)) {
-              builder.AddReservePair(a, b, s);
-            }
-          }
-        } else {
-          for (VertexId b = b_begin; b < b1; ++b) {
-            if (!oracle.Similar(pa, ctx.to_parent[b])) builder.AddPair(a, b);
-          }
-        }
-      }
-    }
+  DissimilarityIndex::Builder builder(ctx.size());
+  if (options.annotate_scores()) builder.AnnotateScores();
+  SelfJoinOptions join;
+  join.strategy = options.join_strategy;
+  join.score_cover = options.score_cover;
+  join.tile_size = opts.tile_size;
+  join.num_threads = join_threads;
+  join.deadline = options.deadline;
+  *join_report = SelfJoinPairs(oracle, ctx.to_parent, join, aborted, &builder);
+  if (aborted->load(std::memory_order_relaxed)) {
+    *transient_bytes = builder.MemoryBytes();
+    return ctx;
   }
   // During Build() the packed pair buffer and the CSR arrays coexist until
   // the fill pass completes, so the transient peak is the sum of both
@@ -162,14 +137,19 @@ Status PrepareComponents(const Graph& g, const SimilarityOracle& oracle,
   // thread count.
   out->resize(components.size());
   std::vector<uint64_t> transients(components.size(), 0);
+  std::vector<JoinReport> joins(components.size());
   std::atomic<bool> aborted{false};
   ParallelOptions par;
   par.num_threads = options.preprocess.num_threads;
   const uint32_t threads = par.Resolve();
+  // With several components the parallelism lives at the component level;
+  // a lone component hands the full thread budget to its join instead.
+  const uint32_t join_threads = components.size() == 1 ? threads : 1;
   ParallelFor(threads, components.size(), [&](size_t i) {
     if (aborted.load(std::memory_order_relaxed)) return;
     (*out)[i] = BuildComponent(similar_only, oracle, components[i], options,
-                               &aborted, &transients[i]);
+                               join_threads, &aborted, &transients[i],
+                               &joins[i]);
   });
   if (aborted.load()) {
     out->clear();
@@ -187,6 +167,11 @@ Status PrepareComponents(const Graph& g, const SimilarityOracle& oracle,
     *report = PreprocessReport{};
     report->components = out->size();
     report->pairs_evaluated = total_pairs;
+    for (const auto& jr : joins) {
+      report->candidate_pairs += jr.candidate_pairs;
+      report->pruned_pairs += jr.pruned_pairs;
+      report->oracle_calls += jr.oracle_calls;
+    }
     for (const auto& ctx : *out) {
       report->vertices += ctx.size();
       report->edges += ctx.graph.num_edges();

@@ -45,7 +45,18 @@ struct PreprocessReport {
   uint64_t components = 0;
   uint64_t vertices = 0;          // across surviving components
   uint64_t edges = 0;             // structure edges across components
-  uint64_t pairs_evaluated = 0;   // oracle calls performed
+  /// Intra-component unordered pairs the join had to settle (the full pair
+  /// space, for every strategy). Before the filter-and-verify join this was
+  /// also the number of metric evaluations; oracle_calls now counts those.
+  uint64_t pairs_evaluated = 0;
+  /// Pairs the join filter emitted for individual verification (equals
+  /// pairs_evaluated on the brute path).
+  uint64_t candidate_pairs = 0;
+  /// Pairs settled by a certified bound with no metric evaluation
+  /// (0 on the brute path). pruned_pairs + oracle_calls == pairs_evaluated.
+  uint64_t pruned_pairs = 0;
+  /// Metric evaluations actually performed by the join.
+  uint64_t oracle_calls = 0;
   uint64_t dissimilar_pairs = 0;  // pairs that violated r
   /// Reserve pairs stored by a score-annotated preparation: similar at the
   /// serving threshold but dissimilar at the cover threshold, kept so any

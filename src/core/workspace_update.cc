@@ -1,11 +1,13 @@
 #include "core/workspace_update.h"
 
 #include <algorithm>
+#include <atomic>
 #include <deque>
 #include <sstream>
 #include <utility>
 
 #include "graph/graph_builder.h"
+#include "similarity/join/self_join.h"
 #include "util/timer.h"
 
 namespace krcore {
@@ -440,11 +442,17 @@ Status WorkspaceUpdater::ApplyEdgeUpdates(std::span<const EdgeUpdate> updates,
       };
       if (fallback) {
         ++batch.fallback_rebuilds;
-        for (VertexId i = 0; i < cn; ++i) {
-          for (VertexId j = i + 1; j < cn; ++j) {
-            EvaluatePair(i, j);
-          }
-        }
+        // Scoped re-prepare of just this component, routed through the
+        // configured join strategy — the exact engine PrepareComponents
+        // uses, preserving the annotation contract (and bit-identical to
+        // the EvaluatePair classification above).
+        SelfJoinOptions join;
+        join.strategy = options.join_strategy;
+        if (scored) join.score_cover = cover;
+        std::atomic<bool> join_aborted{false};
+        const JoinReport jr =
+            SelfJoinPairs(oracle_, members, join, &join_aborted, &pairs);
+        batch.pairs_from_oracle += jr.oracle_calls;
       } else {
         // In-group pairs: restricted from the cached rows, zero oracle
         // calls. The old-local -> new-local map composes through the sorted

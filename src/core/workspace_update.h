@@ -77,6 +77,12 @@ struct UpdateOptions {
   /// disables it (the fraction is strictly below 1).
   double max_dirty_fraction = 0.35;
 
+  /// Pair-discovery strategy for the fallback's scoped re-sweep — the same
+  /// similarity self-join PrepareComponents runs, so a dirtied component
+  /// gets the filter-and-verify engine instead of a hard-wired brute tile
+  /// loop. Results are identical for every strategy.
+  JoinStrategy join_strategy = JoinStrategy::kAuto;
+
   /// Must match the PipelineOptions::order_by_max_degree the workspace was
   /// prepared with, so the maintained component order keeps matching what a
   /// fresh preparation would produce.

@@ -77,6 +77,12 @@ class SimilarityOracle {
   Metric metric() const { return metric_; }
   double threshold() const { return threshold_; }
   bool is_distance() const { return is_distance_; }
+  /// The attribute table the metric evaluates over (not owned, may be
+  /// null). The filter-and-verify self-join reads raw attributes through
+  /// this to build its certified pruning structures; every surviving
+  /// candidate still comes back through Score(), so the oracle stays the
+  /// single source of similarity verdicts.
+  const AttributeTable* attributes() const { return attributes_; }
 
   /// Returns a copy with a different threshold (attribute table shared).
   SimilarityOracle WithThreshold(double r) const {
