@@ -61,6 +61,11 @@ OPTIONAL_MEASUREMENT_FIELDS = {
     "derive_r_restrictions": int,
     "score_filtered_pairs": int,
     "oracle_calls": int,
+    # Robustness accounting (bench runs with failpoints armed): faults
+    # injected into the measured operation and update batches that aborted
+    # and rolled back cleanly.
+    "injected_faults": int,
+    "rolled_back_batches": int,
 }
 
 

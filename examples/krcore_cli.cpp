@@ -38,6 +38,7 @@
 #include "similarity/attributes_io.h"
 #include "similarity/threshold.h"
 #include "snapshot/workspace_snapshot.h"
+#include "util/failpoint.h"
 #include "util/options.h"
 
 using namespace krcore;
@@ -243,8 +244,25 @@ int main(int argc, char** argv) {
         "                    rebuild. Output holds one result section per\n"
         "                    mining call, each preceded by a `# version N`\n"
         "                    line. Combine with --snapshot_out to save the\n"
-        "                    final (versioned) workspace\n");
+        "                    final (versioned) workspace\n"
+        "fault injection (robustness testing; see README 'Failure model'):\n"
+        "  --failpoints=SPEC arm failpoints, e.g.\n"
+        "                    snapshot/rename=once,join/pairs=prob:0.01:7 —\n"
+        "                    modes: off, once, every:N, prob:P[:SEED]. The\n"
+        "                    KRCORE_FAILPOINTS env var takes the same spec\n");
     return 0;
+  }
+
+  // Env first, then the flag, so --failpoints= refines or overrides an
+  // environment-armed configuration site by site.
+  if (Status s = Failpoints::ConfigureFromEnv(); !s.ok()) {
+    return Fail("KRCORE_FAILPOINTS: " + s.message());
+  }
+  if (options.Has("failpoints")) {
+    if (Status s = Failpoints::Configure(options.GetString("failpoints", ""));
+        !s.ok()) {
+      return Fail("--failpoints: " + s.message());
+    }
   }
 
   double timeout = options.GetDouble("timeout", 60.0);

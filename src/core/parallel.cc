@@ -4,6 +4,7 @@
 #include <atomic>
 #include <utility>
 
+#include "util/failpoint.h"
 #include "util/logging.h"
 
 namespace krcore {
@@ -85,6 +86,14 @@ void TaskPool::WorkerLoop(uint32_t index) {
     Task task;
     if (PopTask(index, &task)) {
       lock.unlock();
+      // Not a fault: a firing stall yields the worker's timeslice before it
+      // runs the task, perturbing the schedule so the chaos/TSan runs
+      // explore orderings (stolen tasks, reversed completion) that an idle
+      // machine would rarely produce. Determinism of results under any
+      // schedule is exactly what the equivalence tests lock down.
+      if (Failpoints::ShouldFail("parallel/worker_stall")) {
+        std::this_thread::yield();
+      }
       task();
       task = nullptr;  // release captures before re-locking
       lock.lock();

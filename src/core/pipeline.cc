@@ -11,6 +11,7 @@
 #include "graph/connectivity.h"
 #include "graph/graph_builder.h"
 #include "kcore/core_decomposition.h"
+#include "util/failpoint.h"
 #include "util/timer.h"
 
 namespace krcore {
@@ -145,14 +146,29 @@ Status PrepareComponents(const Graph& g, const SimilarityOracle& oracle,
   // With several components the parallelism lives at the component level;
   // a lone component hands the full thread budget to its join instead.
   const uint32_t join_threads = components.size() == 1 ? threads : 1;
+  std::atomic<bool> injected{false};
   ParallelFor(threads, components.size(), [&](size_t i) {
     if (aborted.load(std::memory_order_relaxed)) return;
+    if (Failpoints::ShouldFail("pipeline/prepare_component")) {
+      injected.store(true, std::memory_order_relaxed);
+      aborted.store(true, std::memory_order_relaxed);
+      return;
+    }
     (*out)[i] = BuildComponent(similar_only, oracle, components[i], options,
                                join_threads, &aborted, &transients[i],
                                &joins[i]);
   });
   if (aborted.load()) {
     out->clear();
+    // An abort is either the deadline or an injected fault (the component-
+    // level site above, or a join/* site surfaced through its report) —
+    // report the one that actually happened.
+    bool was_injected = injected.load();
+    for (const auto& jr : joins) was_injected |= jr.injected_fault;
+    if (was_injected) {
+      return Status::Internal(
+          "injected fault during component preparation (failpoint)");
+    }
     return Status::DeadlineExceeded(
         "preprocessing budget expired during the pairwise similarity sweep");
   }
@@ -317,6 +333,10 @@ Status DeriveWorkspace(const PreparedWorkspace& base, uint32_t k, double r,
   uint64_t score_tests = 0;
   std::vector<char> drop_scratch;
   for (const auto& comp : base.components) {
+    if (Status s = Failpoints::Inject("pipeline/derive_component"); !s.ok()) {
+      out->components.clear();
+      return s;
+    }
     if (options.deadline.Expired()) {
       out->components.clear();
       return Status::DeadlineExceeded(

@@ -8,6 +8,7 @@
 
 #include "graph/graph_builder.h"
 #include "similarity/join/self_join.h"
+#include "util/failpoint.h"
 #include "util/timer.h"
 
 namespace krcore {
@@ -45,6 +46,7 @@ void UpdateReport::MergeFrom(const UpdateReport& other) {
   pairs_from_cache += other.pairs_from_cache;
   pairs_from_oracle += other.pairs_from_oracle;
   fallback_rebuilds += other.fallback_rebuilds;
+  rolled_back_batches += other.rolled_back_batches;
   seconds += other.seconds;
 }
 
@@ -56,7 +58,8 @@ std::string UpdateReport::ToString() const {
      << " reused=" << components_reused << " rebuilt=" << components_rebuilt
      << " rows=" << rows_rebuilt << " cached_pairs=" << pairs_from_cache
      << " oracle_pairs=" << pairs_from_oracle
-     << " fallbacks=" << fallback_rebuilds << " sec=" << seconds;
+     << " fallbacks=" << fallback_rebuilds
+     << " rolled_back=" << rolled_back_batches << " sec=" << seconds;
   return os.str();
 }
 
@@ -167,13 +170,64 @@ Status WorkspaceUpdater::ApplyEdgeUpdates(std::span<const EdgeUpdate> updates,
   // realized change also snapshots its endpoints' pre-repair membership:
   // the dirty-region seeding below needs to know whether the edge was part
   // of the old component structure, and in_core_ here is still pre-peel.
+  // The realized changes double as the transaction's undo log — `inserted`
+  // records which direction to reverse on rollback.
   struct ChangedEdge {
     VertexId u, v;
     bool u_was_core, v_was_core;
+    bool inserted;
   };
   std::vector<VertexId> touched;
   std::vector<ChangedEdge> changed_edges;
+  std::vector<VertexId> peeled;
+  std::vector<VertexId> promoted;
+  std::vector<VertexId> candidates;
+  std::vector<VertexId> dirty;
   std::deque<VertexId> peel_queue;
+
+  // Transactional failure path: undo every mutation the batch has made so
+  // far — replayed similarity edges (reversed in reverse order, so an
+  // insert-then-remove of the same edge within one batch unwinds
+  // correctly), core-membership changes, and the per-vertex scratch flags —
+  // leaving the workspace, the version, and the updater's internal state
+  // bit-identical to the pre-batch state. ws_->components and comp_of_ are
+  // not touched until the no-fail commit in phase 7, so they never need
+  // undoing.
+  auto Fail = [&](Status s) -> Status {
+    for (auto it = changed_edges.rbegin(); it != changed_edges.rend(); ++it) {
+      if (it->inserted) {
+        EraseSorted(sim_adj_[it->u], it->v);
+        EraseSorted(sim_adj_[it->v], it->u);
+      } else {
+        InsertSorted(sim_adj_[it->u], it->v);
+        InsertSorted(sim_adj_[it->v], it->u);
+      }
+    }
+    for (VertexId v : peeled) in_core_[v] = 1;
+    for (VertexId v : promoted) in_core_[v] = 0;
+    for (VertexId v : candidates) candidate_flag_[v] = 0;
+    for (VertexId t : touched) touched_flag_[t] = 0;
+    for (VertexId v : dirty) {
+      dirty_flag_[v] = 0;
+      visited_flag_[v] = 0;
+    }
+    ++cumulative_.rolled_back_batches;
+    if (report != nullptr) {
+      *report = UpdateReport{};
+      report->rolled_back_batches = 1;
+    }
+    return s;
+  };
+  // Abort poll, hit in every repair loop: deadline expiry and the named
+  // failpoint both route through Fail's rollback.
+  auto CheckAbort = [&](const char* site) -> Status {
+    if (options.deadline.Expired()) {
+      return Status::DeadlineExceeded(
+          "edge-update batch exceeded its deadline; batch rolled back");
+    }
+    return Failpoints::Inject(site);
+  };
+
   auto Touch = [&](VertexId v) {
     if (!touched_flag_[v]) {
       touched_flag_[v] = 1;
@@ -181,6 +235,9 @@ Status WorkspaceUpdater::ApplyEdgeUpdates(std::span<const EdgeUpdate> updates,
     }
   };
   for (const EdgeUpdate& upd : updates) {
+    if (Status s = CheckAbort("update/replay"); !s.ok()) {
+      return Fail(std::move(s));
+    }
     ++batch.updates_applied;
     if (upd.kind == EdgeUpdate::Kind::kInsert) {
       if (HasSimilarEdge(upd.u, upd.v)) continue;  // raw duplicate or re-add
@@ -196,15 +253,17 @@ Status WorkspaceUpdater::ApplyEdgeUpdates(std::span<const EdgeUpdate> updates,
       if (in_core_[upd.u]) peel_queue.push_back(upd.u);
       if (in_core_[upd.v]) peel_queue.push_back(upd.v);
     }
+    const bool inserted = upd.kind == EdgeUpdate::Kind::kInsert;
     Touch(upd.u);
     Touch(upd.v);
     changed_edges.push_back({upd.u, upd.v, in_core_[upd.u] != 0,
-                             in_core_[upd.v] != 0});
+                             in_core_[upd.v] != 0, inserted});
   }
-  ++ws_->version;
   if (touched.empty()) {
     // Only no-op updates: the similarity graph — and with it the entire
-    // substrate — is unchanged.
+    // substrate — is unchanged. Still a committed batch, so the version
+    // advances.
+    ++ws_->version;
     batch.components_reused = ws_->components.size();
     batch.seconds = timer.ElapsedSeconds();
     cumulative_.MergeFrom(batch);
@@ -215,8 +274,10 @@ Status WorkspaceUpdater::ApplyEdgeUpdates(std::span<const EdgeUpdate> updates,
   // --- 2. Peel pass: deletions cascade membership loss outward from the
   // removed edges' endpoints. Survivors of this pass form a k-closed set in
   // the updated graph, so they all belong to the new k-core.
-  std::vector<VertexId> peeled;
   while (!peel_queue.empty()) {
+    if (Status s = CheckAbort("update/repair"); !s.ok()) {
+      return Fail(std::move(s));
+    }
     VertexId v = peel_queue.front();
     peel_queue.pop_front();
     if (!in_core_[v] || CoreDegree(v) >= k) continue;
@@ -233,7 +294,6 @@ Status WorkspaceUpdater::ApplyEdgeUpdates(std::span<const EdgeUpdate> updates,
   // edge change would have been in the old core already). Collect that
   // candidate frontier, then peel it with the current core anchored: the
   // survivors are exactly the new members.
-  std::vector<VertexId> candidates;
   {
     std::deque<VertexId> bfs;
     auto Consider = [&](VertexId v) {
@@ -247,12 +307,14 @@ Status WorkspaceUpdater::ApplyEdgeUpdates(std::span<const EdgeUpdate> updates,
     for (VertexId t : touched) Consider(t);
     for (VertexId p : peeled) Consider(p);
     while (!bfs.empty()) {
+      if (Status s = CheckAbort("update/repair"); !s.ok()) {
+        return Fail(std::move(s));
+      }
       VertexId v = bfs.front();
       bfs.pop_front();
       for (VertexId w : sim_adj_[v]) Consider(w);
     }
   }
-  std::vector<VertexId> promoted;
   if (!candidates.empty()) {
     std::deque<VertexId> drop;
     for (VertexId v : candidates) {
@@ -262,6 +324,9 @@ Status WorkspaceUpdater::ApplyEdgeUpdates(std::span<const EdgeUpdate> updates,
       if (d < k) drop.push_back(v);
     }
     while (!drop.empty()) {
+      if (Status s = CheckAbort("update/repair"); !s.ok()) {
+        return Fail(std::move(s));
+      }
       VertexId v = drop.front();
       drop.pop_front();
       if (!candidate_flag_[v] || candidate_degree_[v] >= k) continue;
@@ -296,7 +361,6 @@ Status WorkspaceUpdater::ApplyEdgeUpdates(std::span<const EdgeUpdate> updates,
   // structure graph nor the (vertex-set-determined) dissimilarity rows,
   // and the component is reused verbatim — the common cheap case for
   // churn against a stable core.
-  std::vector<VertexId> dirty;
   {
     std::deque<VertexId> bfs;
     auto Seed = [&](VertexId v) {
@@ -315,6 +379,9 @@ Status WorkspaceUpdater::ApplyEdgeUpdates(std::span<const EdgeUpdate> updates,
       for (VertexId w : sim_adj_[p]) Seed(w);
     }
     while (!bfs.empty()) {
+      if (Status s = CheckAbort("update/repair"); !s.ok()) {
+        return Fail(std::move(s));
+      }
       VertexId v = bfs.front();
       bfs.pop_front();
       for (VertexId w : sim_adj_[v]) Seed(w);
@@ -340,8 +407,17 @@ Status WorkspaceUpdater::ApplyEdgeUpdates(std::span<const EdgeUpdate> updates,
   {
     std::vector<VertexId> members;
     std::deque<VertexId> bfs;
+    // Failure helper for aborts that land after remap_ has been written for
+    // the component under rebuild: restore its slots, then roll back.
+    auto FailInComponent = [&](Status s) -> Status {
+      for (VertexId p : members) remap_[p] = kInvalidVertex;
+      return Fail(std::move(s));
+    };
     for (VertexId s : dirty) {
       if (visited_flag_[s]) continue;
+      if (Status st = CheckAbort("update/rebuild_component"); !st.ok()) {
+        return Fail(std::move(st));
+      }
       members.clear();
       visited_flag_[s] = 1;
       bfs.push_back(s);
@@ -442,17 +518,32 @@ Status WorkspaceUpdater::ApplyEdgeUpdates(std::span<const EdgeUpdate> updates,
       };
       if (fallback) {
         ++batch.fallback_rebuilds;
+        if (Status st = CheckAbort("update/fallback_resweep"); !st.ok()) {
+          return FailInComponent(std::move(st));
+        }
         // Scoped re-prepare of just this component, routed through the
         // configured join strategy — the exact engine PrepareComponents
         // uses, preserving the annotation contract (and bit-identical to
-        // the EvaluatePair classification above).
+        // the EvaluatePair classification above). The batch deadline flows
+        // into the join, whose own polling aborts it mid-sweep.
         SelfJoinOptions join;
         join.strategy = options.join_strategy;
+        join.deadline = options.deadline;
         if (scored) join.score_cover = cover;
         std::atomic<bool> join_aborted{false};
         const JoinReport jr =
             SelfJoinPairs(oracle_, members, join, &join_aborted, &pairs);
         batch.pairs_from_oracle += jr.oracle_calls;
+        if (join_aborted.load(std::memory_order_relaxed)) {
+          return FailInComponent(
+              jr.injected_fault
+                  ? Status::Internal(
+                        "injected fault at failpoint 'join/pairs' during "
+                        "the fallback resweep; batch rolled back")
+                  : Status::DeadlineExceeded(
+                        "edge-update batch exceeded its deadline during "
+                        "the fallback resweep; batch rolled back"));
+        }
       } else {
         // In-group pairs: restricted from the cached rows, zero oracle
         // calls. The old-local -> new-local map composes through the sorted
@@ -478,6 +569,9 @@ Status WorkspaceUpdater::ApplyEdgeUpdates(std::span<const EdgeUpdate> updates,
         // Cross-group pairs: evaluated fresh — O(changed pairs), not
         // O(n^2); same-origin pairs are never even iterated.
         for (size_t gi = 0; gi + 1 < groups.size(); ++gi) {
+          if (Status st = CheckAbort("update/rebuild_component"); !st.ok()) {
+            return FailInComponent(std::move(st));
+          }
           for (size_t gj = gi + 1; gj < groups.size(); ++gj) {
             for (VertexId i : groups[gi]) {
               for (VertexId j : groups[gj]) {
@@ -494,6 +588,13 @@ Status WorkspaceUpdater::ApplyEdgeUpdates(std::span<const EdgeUpdate> updates,
     }
   }
   batch.components_rebuilt = rebuilt.size();
+
+  // Last abort poll: past this point the commit is no-fail (moves, sorts,
+  // flag clearing only), so every batch either rolled back completely above
+  // or commits completely below.
+  if (Status s = CheckAbort("update/before_commit"); !s.ok()) {
+    return Fail(std::move(s));
+  }
 
   // --- 7. Reassemble — but only when the component list actually changed:
   // membership churn outside every component leaves the existing list
@@ -541,6 +642,8 @@ Status WorkspaceUpdater::ApplyEdgeUpdates(std::span<const EdgeUpdate> updates,
     visited_flag_[v] = 0;
   }
 
+  // Commit: the version advances only once the batch is fully applied.
+  ++ws_->version;
   batch.seconds = timer.ElapsedSeconds();
   cumulative_.MergeFrom(batch);
   if (report != nullptr) *report = batch;

@@ -87,6 +87,13 @@ struct UpdateOptions {
   /// prepared with, so the maintained component order keeps matching what a
   /// fresh preparation would produce.
   bool order_by_max_degree = true;
+
+  /// Wall-clock budget for the whole batch, polled in every repair loop
+  /// (replay, peel/promotion cascades, dirty BFS, component rebuilds, and
+  /// the fallback resweep's pair engine). Expiry aborts the batch with
+  /// DeadlineExceeded through the transactional rollback path, so a timed-
+  /// out batch leaves the workspace bit-identical to its pre-batch state.
+  Deadline deadline;
 };
 
 /// Accounting for one ApplyEdgeUpdates batch (or, via
@@ -104,6 +111,7 @@ struct UpdateReport {
   uint64_t pairs_from_cache = 0;    // pairs restricted from cached rows
   uint64_t pairs_from_oracle = 0;   // similarity evaluations actually run
   uint64_t fallback_rebuilds = 0;   // components re-swept via the fallback
+  uint64_t rolled_back_batches = 0;  // batches aborted and fully undone
   double seconds = 0.0;
 
   void MergeFrom(const UpdateReport& other);
@@ -125,10 +133,16 @@ class WorkspaceUpdater {
   WorkspaceUpdater(const Graph& g, const SimilarityOracle& oracle,
                    PreparedWorkspace* ws);
 
-  /// Applies one batch of edge updates and repairs the workspace. On any
-  /// validation error (self-loop, out-of-range id, workspace mismatch) the
-  /// workspace is left untouched. `report`, when non-null, receives the
-  /// accounting for this batch only.
+  /// Applies one batch of edge updates and repairs the workspace,
+  /// all-or-nothing: on ANY non-OK return — validation error, deadline
+  /// expiry mid-repair, injected failpoint, join abort — every mutation the
+  /// batch made (similarity adjacency, core membership, scratch state) is
+  /// rolled back, so the workspace and the updater are bit-identical to
+  /// their pre-batch state, the version is unchanged, and the same updater
+  /// keeps working for subsequent batches. The version is bumped only at
+  /// the commit point of a successful batch. `report`, when non-null,
+  /// receives the accounting for this batch only (on a rolled-back batch:
+  /// all zeros except rolled_back_batches = 1).
   Status ApplyEdgeUpdates(std::span<const EdgeUpdate> updates,
                           const UpdateOptions& options,
                           UpdateReport* report = nullptr);

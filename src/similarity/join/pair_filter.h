@@ -12,6 +12,7 @@
 #include "graph/graph.h"
 #include "similarity/join/self_join.h"
 #include "similarity/similarity_oracle.h"
+#include "util/failpoint.h"
 #include "util/timer.h"
 
 namespace krcore {
@@ -141,6 +142,12 @@ class PairSink {
   void CountOp() {
     if (++since_poll_ >= kPollInterval) {
       since_poll_ = 0;
+      if (Failpoints::ShouldFail("join/pairs")) {
+        report_.injected_fault = true;
+        aborted_->store(true, std::memory_order_relaxed);
+        local_abort_ = true;
+        return;
+      }
       if (aborted_->load(std::memory_order_relaxed) || deadline_.Expired()) {
         aborted_->store(true, std::memory_order_relaxed);
         local_abort_ = true;

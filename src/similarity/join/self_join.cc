@@ -6,6 +6,7 @@
 
 #include "core/parallel.h"
 #include "similarity/join/pair_filter.h"
+#include "util/failpoint.h"
 
 namespace krcore {
 
@@ -115,7 +116,14 @@ JoinReport SelfJoinPairs(const SimilarityOracle& oracle,
   if (n < 2) return report;
   // Entry poll: an already-expired budget must abort no matter how little
   // work the filters would need (a bulk certificate can settle the whole
-  // pair space in fewer operations than one lazy poll interval).
+  // pair space in fewer operations than one lazy poll interval). The
+  // entry-level failpoint fires here for the same reason — a small join can
+  // finish inside one lazy poll interval of the per-pair site.
+  if (Failpoints::ShouldFail("join/self_join")) {
+    report.injected_fault = true;
+    aborted->store(true, std::memory_order_relaxed);
+    return report;
+  }
   if (aborted->load(std::memory_order_relaxed) || options.deadline.Expired()) {
     aborted->store(true, std::memory_order_relaxed);
     return report;

@@ -87,6 +87,10 @@ struct JoinReport {
   /// True when a certified filter ran (false = brute, requested or fallen
   /// back to).
   bool filtered = false;
+  /// True when the abort was caused by the 'join/pairs' failpoint rather
+  /// than deadline expiry, so callers can map it to Internal instead of
+  /// DeadlineExceeded. Only meaningful when the join aborted.
+  bool injected_fault = false;
 
   void MergeFrom(const JoinReport& other) {
     total_pairs += other.total_pairs;
@@ -94,6 +98,7 @@ struct JoinReport {
     pruned_pairs += other.pruned_pairs;
     oracle_calls += other.oracle_calls;
     filtered = filtered || other.filtered;
+    injected_fault = injected_fault || other.injected_fault;
   }
 };
 

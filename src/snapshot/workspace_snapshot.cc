@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstdio>
 #include <cstring>
 #include <fstream>
 #include <vector>
@@ -9,6 +10,7 @@
 #include "core/dissimilarity_index.h"
 #include "graph/graph.h"
 #include "similarity/similarity_oracle.h"
+#include "util/failpoint.h"
 
 namespace krcore {
 namespace {
@@ -68,14 +70,32 @@ class PayloadReader {
   size_t pos_ = 0;
 };
 
-void WriteSection(std::ofstream& out, uint32_t tag,
-                  const std::string& payload) {
+Status WriteSection(std::ofstream& out, uint32_t tag,
+                    const std::string& payload) {
   uint64_t size = payload.size();
   uint64_t checksum = Fnv1a64(payload.data(), payload.size());
+  if (Failpoints::ShouldFail("snapshot/write_section")) {
+    // Simulate a mid-section kill: leave exactly the torn prefix a real
+    // crash would have left (envelope + half the payload, no checksum), so
+    // the atomicity contract is exercised against genuinely corrupt bytes.
+    out.write(reinterpret_cast<const char*>(&tag), sizeof(tag));
+    out.write(reinterpret_cast<const char*>(&size), sizeof(size));
+    out.write(payload.data(),
+              static_cast<std::streamsize>(payload.size() / 2));
+    out.flush();
+    return Status::Internal(
+        "injected fault at failpoint 'snapshot/write_section' (section tag " +
+        std::to_string(tag) + ")");
+  }
   out.write(reinterpret_cast<const char*>(&tag), sizeof(tag));
   out.write(reinterpret_cast<const char*>(&size), sizeof(size));
   out.write(payload.data(), static_cast<std::streamsize>(payload.size()));
   out.write(reinterpret_cast<const char*>(&checksum), sizeof(checksum));
+  if (!out.good()) {
+    return Status::Internal("short write in snapshot section (tag " +
+                            std::to_string(tag) + ")");
+  }
+  return Status::OK();
 }
 
 std::string ComponentPayload(const ComponentContext& ctx, bool scored) {
@@ -130,6 +150,7 @@ Status Corrupt(const std::string& what) {
 /// allocation of that size is attempted.
 Status ReadSection(std::ifstream& in, uint64_t* remaining, uint32_t* tag,
                    std::string* payload) {
+  KRCORE_FAILPOINT("snapshot/read_section");
   uint64_t size = 0;
   uint64_t checksum = 0;
   if (*remaining < sizeof(*tag) + sizeof(size)) {
@@ -304,15 +325,17 @@ Status ParseComponent(const std::string& payload, uint32_t bitset_min_degree,
   return Status::OK();
 }
 
-}  // namespace
-
-Status SaveWorkspaceSnapshot(const PreparedWorkspace& ws,
-                             const std::string& path) {
-  std::ofstream out(path, std::ios::binary | std::ios::trunc);
-  if (!out) return Status::NotFound("cannot open for write: " + path);
+/// Streams the full snapshot body into an already-open `out`. Every write is
+/// checked as it lands, so the first bad byte reports which section died
+/// instead of a single opaque failure at the end.
+Status WriteSnapshotStream(const PreparedWorkspace& ws, std::ofstream& out,
+                           const std::string& tmp_path) {
   out.write(kSnapshotMagic, sizeof(kSnapshotMagic));
   uint32_t version = kSnapshotVersion;
   out.write(reinterpret_cast<const char*>(&version), sizeof(version));
+  if (!out.good()) {
+    return Status::Internal("short write in snapshot header: " + tmp_path);
+  }
 
   PayloadWriter meta;
   meta.PutU32(ws.k);
@@ -327,13 +350,49 @@ Status SaveWorkspaceSnapshot(const PreparedWorkspace& ws,
   // serving interval), matching what PrepareWorkspace stamps.
   meta.PutDouble(ws.scored ? ws.score_cover : ws.threshold);
   meta.PutU64(ws.components.size());
-  WriteSection(out, kMetaSection, meta.bytes());
+  Status s = WriteSection(out, kMetaSection, meta.bytes());
+  if (!s.ok()) return s;
   for (const auto& ctx : ws.components) {
-    WriteSection(out, kComponentSection, ComponentPayload(ctx, ws.scored));
+    s = WriteSection(out, kComponentSection, ComponentPayload(ctx, ws.scored));
+    if (!s.ok()) return s;
   }
+  KRCORE_FAILPOINT("snapshot/flush");
   out.flush();
-  return out.good() ? Status::OK()
-                    : Status::Internal("snapshot write failed: " + path);
+  if (!out.good()) {
+    return Status::Internal("snapshot flush failed: " + tmp_path);
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+Status SaveWorkspaceSnapshot(const PreparedWorkspace& ws,
+                             const std::string& path) {
+  // Crash atomicity: stream into a sibling temp file with every write
+  // checked, close it, then rename into place (atomic on POSIX). A failure
+  // at any byte — short write, failed flush/close, injected fault — leaves
+  // whatever previously lived at `path` untouched and loadable; the torn
+  // temp file is removed.
+  const std::string tmp_path = path + ".tmp";
+  Status s;
+  {
+    std::ofstream out(tmp_path, std::ios::binary | std::ios::trunc);
+    if (!out) return Status::NotFound("cannot open for write: " + tmp_path);
+    s = WriteSnapshotStream(ws, out, tmp_path);
+    if (s.ok()) {
+      out.close();
+      if (out.fail()) {
+        s = Status::Internal("snapshot close failed: " + tmp_path);
+      }
+    }
+  }
+  if (s.ok()) s = Failpoints::Inject("snapshot/rename");
+  if (s.ok() && std::rename(tmp_path.c_str(), path.c_str()) != 0) {
+    s = Status::Internal("cannot rename " + tmp_path + " into place at " +
+                         path);
+  }
+  if (!s.ok()) std::remove(tmp_path.c_str());
+  return s;
 }
 
 Status LoadWorkspaceSnapshot(const std::string& path, PreparedWorkspace* out) {
@@ -421,11 +480,11 @@ Status LoadWorkspaceSnapshot(const std::string& path, PreparedWorkspace* out) {
   for (uint64_t i = 0; i < num_components; ++i) {
     s = ReadSection(in, &remaining, &tag, &payload);
     if (!s.ok()) {
-      out->components.clear();
+      *out = PreparedWorkspace{};
       return s;
     }
     if (tag != kComponentSection) {
-      out->components.clear();
+      *out = PreparedWorkspace{};
       return Corrupt("unexpected section tag");
     }
     ComponentContext ctx;
@@ -433,13 +492,13 @@ Status LoadWorkspaceSnapshot(const std::string& path, PreparedWorkspace* out) {
                        out->threshold, out->score_cover, out->is_distance,
                        &ctx);
     if (!s.ok()) {
-      out->components.clear();
+      *out = PreparedWorkspace{};
       return s;
     }
     out->components.push_back(std::move(ctx));
   }
   if (remaining != 0) {
-    out->components.clear();
+    *out = PreparedWorkspace{};
     return Corrupt("trailing bytes after the last section");
   }
   return Status::OK();

@@ -64,8 +64,13 @@ inline constexpr char kSnapshotMagic[8] = {'K', 'R', 'W', 'S',
                                            'N', 'A', 'P', '1'};
 inline constexpr uint32_t kSnapshotVersion = 3;
 
-/// Serializes `ws` to `path` (overwriting). Fails with NotFound when the
-/// file cannot be opened and Internal on a short write.
+/// Serializes `ws` to `path`, crash-atomically: the snapshot is streamed
+/// into `path + ".tmp"` with every write checked, then renamed into place.
+/// A failure at any byte (short write, failed flush/close or rename, or an
+/// injected `snapshot/*` failpoint) removes the torn temp file and leaves
+/// whatever previously lived at `path` untouched and loadable. Fails with
+/// NotFound when the temp file cannot be opened; Internal errors name the
+/// section tag that died mid-write.
 Status SaveWorkspaceSnapshot(const PreparedWorkspace& ws,
                              const std::string& path);
 

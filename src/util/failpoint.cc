@@ -1,0 +1,230 @@
+#include "util/failpoint.h"
+
+#include <cstdlib>
+#include <map>
+#include <mutex>
+#include <utility>
+
+namespace krcore {
+namespace {
+
+/// SplitMix64 step: the per-site probability stream. Deterministic from the
+/// spec's seed and independent across sites, so a chaos run replays exactly
+/// from (seed, hit order).
+uint64_t SplitMix64(uint64_t* state) {
+  uint64_t z = (*state += 0x9E3779B97F4A7C15ull);
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
+  return z ^ (z >> 31);
+}
+
+struct SiteState {
+  FailpointSpec spec;
+  uint64_t hits = 0;
+  uint64_t fired = 0;
+  uint64_t rng_state = 0;
+  bool armed = false;
+};
+
+struct Registry {
+  std::mutex mu;
+  std::map<std::string, SiteState> sites;
+  uint64_t total_fired = 0;
+};
+
+Registry& GetRegistry() {
+  static Registry* registry = new Registry();  // leaked: process lifetime
+  return *registry;
+}
+
+/// The hot-path gate: number of currently armed sites. Kept outside the
+/// mutex so ShouldFail is one relaxed load when fault injection is off.
+std::atomic<uint64_t> g_armed_sites{0};
+
+/// Parses one "site=mode" entry into (site, spec). Returns false on any
+/// syntax error.
+bool ParseEntry(const std::string& entry, std::string* site,
+                FailpointSpec* spec) {
+  const size_t eq = entry.find('=');
+  if (eq == std::string::npos || eq == 0) return false;
+  *site = entry.substr(0, eq);
+  const std::string mode = entry.substr(eq + 1);
+  if (mode == "off") {
+    *spec = FailpointSpec::Off();
+    return true;
+  }
+  if (mode == "once") {
+    *spec = FailpointSpec::Once();
+    return true;
+  }
+  if (mode.rfind("every:", 0) == 0) {
+    char* end = nullptr;
+    const std::string num = mode.substr(6);
+    const unsigned long long n = std::strtoull(num.c_str(), &end, 10);
+    if (num.empty() || end == nullptr || *end != '\0' || n == 0) return false;
+    *spec = FailpointSpec::EveryNth(n);
+    return true;
+  }
+  if (mode.rfind("prob:", 0) == 0) {
+    std::string rest = mode.substr(5);
+    uint64_t seed = 1;
+    const size_t colon = rest.find(':');
+    if (colon != std::string::npos) {
+      char* end = nullptr;
+      const std::string seed_text = rest.substr(colon + 1);
+      seed = std::strtoull(seed_text.c_str(), &end, 10);
+      if (seed_text.empty() || end == nullptr || *end != '\0') return false;
+      rest = rest.substr(0, colon);
+    }
+    char* end = nullptr;
+    const double p = std::strtod(rest.c_str(), &end);
+    if (rest.empty() || end == nullptr || *end != '\0' || p < 0.0 || p > 1.0) {
+      return false;
+    }
+    *spec = FailpointSpec::Probability(p, seed);
+    return true;
+  }
+  return false;
+}
+
+}  // namespace
+
+void Failpoints::Enable(const std::string& site, const FailpointSpec& spec) {
+  Registry& reg = GetRegistry();
+  std::lock_guard<std::mutex> lock(reg.mu);
+  SiteState& state = reg.sites[site];
+  const bool was_armed = state.armed;
+  state.spec = spec;
+  state.hits = 0;
+  state.fired = 0;
+  state.rng_state = spec.seed;
+  state.armed = spec.mode != FailpointSpec::Mode::kOff;
+  if (state.armed && !was_armed) {
+    g_armed_sites.fetch_add(1, std::memory_order_relaxed);
+  } else if (!state.armed && was_armed) {
+    g_armed_sites.fetch_sub(1, std::memory_order_relaxed);
+  }
+}
+
+void Failpoints::Disable(const std::string& site) {
+  Enable(site, FailpointSpec::Off());
+}
+
+void Failpoints::DisableAll() {
+  Registry& reg = GetRegistry();
+  std::lock_guard<std::mutex> lock(reg.mu);
+  uint64_t armed = 0;
+  for (const auto& [site, state] : reg.sites) armed += state.armed ? 1 : 0;
+  reg.sites.clear();
+  reg.total_fired = 0;
+  g_armed_sites.fetch_sub(armed, std::memory_order_relaxed);
+}
+
+Status Failpoints::Configure(const std::string& config) {
+  // Parse the whole list before applying anything, so a malformed entry
+  // cannot leave a half-applied configuration behind.
+  std::vector<std::pair<std::string, FailpointSpec>> parsed;
+  size_t start = 0;
+  while (start <= config.size()) {
+    size_t end = config.find(',', start);
+    if (end == std::string::npos) end = config.size();
+    const std::string entry = config.substr(start, end - start);
+    if (!entry.empty()) {
+      std::string site;
+      FailpointSpec spec;
+      if (!ParseEntry(entry, &site, &spec)) {
+        return Status::InvalidArgument(
+            "bad failpoint entry '" + entry +
+            "' (want site=off|once|every:N|prob:P[:SEED])");
+      }
+      parsed.emplace_back(std::move(site), spec);
+    }
+    start = end + 1;
+  }
+  for (const auto& [site, spec] : parsed) Enable(site, spec);
+  return Status::OK();
+}
+
+Status Failpoints::ConfigureFromEnv() {
+  const char* env = std::getenv("KRCORE_FAILPOINTS");
+  if (env == nullptr) return Status::OK();
+  return Configure(env);
+}
+
+bool Failpoints::ShouldFail(const char* site) {
+  if (g_armed_sites.load(std::memory_order_relaxed) == 0) return false;
+  Registry& reg = GetRegistry();
+  std::lock_guard<std::mutex> lock(reg.mu);
+  auto it = reg.sites.find(site);
+  if (it == reg.sites.end() || !it->second.armed) return false;
+  SiteState& state = it->second;
+  ++state.hits;
+  bool fire = false;
+  switch (state.spec.mode) {
+    case FailpointSpec::Mode::kOff:
+      break;
+    case FailpointSpec::Mode::kOnce:
+      fire = true;
+      state.armed = false;
+      g_armed_sites.fetch_sub(1, std::memory_order_relaxed);
+      break;
+    case FailpointSpec::Mode::kEveryNth:
+      fire = state.hits % state.spec.every_n == 0;
+      break;
+    case FailpointSpec::Mode::kProbability: {
+      // 53-bit mantissa draw in [0, 1).
+      const double draw = static_cast<double>(SplitMix64(&state.rng_state) >>
+                                              11) *
+                          0x1.0p-53;
+      fire = draw < state.spec.probability;
+      break;
+    }
+  }
+  if (fire) {
+    ++state.fired;
+    ++reg.total_fired;
+  }
+  return fire;
+}
+
+Status Failpoints::Inject(const char* site) {
+  if (!ShouldFail(site)) return Status::OK();
+  return Status::Internal(std::string("injected fault at failpoint '") +
+                          site + "'");
+}
+
+bool Failpoints::AnyArmed() {
+  return g_armed_sites.load(std::memory_order_relaxed) != 0;
+}
+
+uint64_t Failpoints::TotalFired() {
+  Registry& reg = GetRegistry();
+  std::lock_guard<std::mutex> lock(reg.mu);
+  return reg.total_fired;
+}
+
+FailpointStats Failpoints::StatsFor(const std::string& site) {
+  Registry& reg = GetRegistry();
+  std::lock_guard<std::mutex> lock(reg.mu);
+  FailpointStats stats;
+  stats.site = site;
+  auto it = reg.sites.find(site);
+  if (it != reg.sites.end()) {
+    stats.hits = it->second.hits;
+    stats.fired = it->second.fired;
+  }
+  return stats;
+}
+
+std::vector<FailpointStats> Failpoints::AllStats() {
+  Registry& reg = GetRegistry();
+  std::lock_guard<std::mutex> lock(reg.mu);
+  std::vector<FailpointStats> all;
+  all.reserve(reg.sites.size());
+  for (const auto& [site, state] : reg.sites) {
+    all.push_back({site, state.hits, state.fired});
+  }
+  return all;
+}
+
+}  // namespace krcore

@@ -1,0 +1,134 @@
+#ifndef KRCORE_UTIL_FAILPOINT_H_
+#define KRCORE_UTIL_FAILPOINT_H_
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "util/status.h"
+
+namespace krcore {
+
+/// Failpoint framework: named fault-injection sites threaded through every
+/// stateful layer (snapshot I/O, preparation, derivation, the incremental
+/// updater, the task pool). A disarmed site costs one relaxed atomic load,
+/// so sites are safe to leave in hot paths permanently; the chaos and
+/// robustness tests arm them to prove that every failure the system can hit
+/// surfaces as a clean Status and leaves state either fully rolled back or
+/// fully committed.
+///
+/// Activation:
+///  - programmatic: Failpoints::Enable("snapshot/write_section", spec)
+///  - spec strings: Failpoints::Configure("site=once,other=every:3")
+///  - environment:  KRCORE_FAILPOINTS=site=once (Failpoints::ConfigureFromEnv,
+///    called by the CLI at startup)
+///  - CLI:          krcore_cli --failpoints=site=once
+///
+/// Modes (the text forms Configure parses):
+///  - "off"          disarmed (also removes the site from the registry)
+///  - "once"         fire on the next hit, then disarm
+///  - "every:N"      fire on every Nth hit (N >= 1; "every:1" = always)
+///  - "prob:P[:S]"   fire independently with probability P per hit, from a
+///                   deterministic per-site stream seeded with S (default 1)
+struct FailpointSpec {
+  enum class Mode : uint8_t { kOff, kOnce, kEveryNth, kProbability };
+
+  Mode mode = Mode::kOff;
+  /// Period for kEveryNth (fires on hits N, 2N, 3N, ...).
+  uint64_t every_n = 1;
+  /// Per-hit firing probability for kProbability.
+  double probability = 0.0;
+  /// Seed of the per-site deterministic stream for kProbability.
+  uint64_t seed = 1;
+
+  static FailpointSpec Off() { return {}; }
+  static FailpointSpec Once() {
+    FailpointSpec s;
+    s.mode = Mode::kOnce;
+    return s;
+  }
+  static FailpointSpec EveryNth(uint64_t n) {
+    FailpointSpec s;
+    s.mode = Mode::kEveryNth;
+    s.every_n = n == 0 ? 1 : n;
+    return s;
+  }
+  static FailpointSpec Probability(double p, uint64_t seed = 1) {
+    FailpointSpec s;
+    s.mode = Mode::kProbability;
+    s.probability = p;
+    s.seed = seed;
+    return s;
+  }
+};
+
+/// Per-site observability snapshot (testing and chaos-report accounting).
+struct FailpointStats {
+  std::string site;
+  uint64_t hits = 0;   // ShouldFail evaluations while armed
+  uint64_t fired = 0;  // hits that injected a fault
+};
+
+/// Process-global registry of armed failpoints. All members are static: a
+/// fault-injection site is a property of the process under test, not of any
+/// one object, and sites are hit from arbitrary threads (ParallelFor
+/// workers, TaskPool workers, the join's chunk tasks).
+///
+/// Thread safety: Enable/Disable/Configure and ShouldFail may race freely;
+/// the registry is mutex-guarded and the disarmed fast path is a single
+/// relaxed load of an armed-site counter.
+class Failpoints {
+ public:
+  /// Arms `site` with `spec` (resetting its hit/fired counters), or disarms
+  /// it when spec.mode == kOff.
+  static void Enable(const std::string& site, const FailpointSpec& spec);
+  static void Disable(const std::string& site);
+  static void DisableAll();
+
+  /// Parses and applies a comma-separated "site=mode" list (mode syntax in
+  /// the FailpointSpec comment). An empty string is a no-op. On a malformed
+  /// entry nothing is applied and InvalidArgument names the bad entry.
+  static Status Configure(const std::string& config);
+
+  /// Configure(getenv("KRCORE_FAILPOINTS")); a no-op when unset or empty.
+  static Status ConfigureFromEnv();
+
+  /// Counts a hit against `site` and returns true when its armed mode fires
+  /// on this hit. Disarmed sites (and all sites while nothing at all is
+  /// armed) return false at the cost of one relaxed atomic load.
+  static bool ShouldFail(const char* site);
+
+  /// Status-shaped form of ShouldFail: Internal("injected fault at
+  /// failpoint 'site'") when the site fires, OK otherwise.
+  static Status Inject(const char* site);
+
+  /// True when at least one site is armed (the hot-path gate; exposed for
+  /// tests and for callers that want to skip fault bookkeeping entirely).
+  static bool AnyArmed();
+
+  /// Total faults injected across all sites since the last DisableAll /
+  /// process start (survives Disable of individual sites).
+  static uint64_t TotalFired();
+
+  /// Counters for one site (zeros when the site was never armed).
+  static FailpointStats StatsFor(const std::string& site);
+
+  /// Snapshot of every site currently armed or fired-then-disarmed.
+  static std::vector<FailpointStats> AllStats();
+
+  Failpoints() = delete;
+};
+
+/// Injects a failure into a Status-returning function:
+///   KRCORE_FAILPOINT("snapshot/rename");
+/// expands to `return Status::Internal(...)` when the site fires.
+#define KRCORE_FAILPOINT(site)                                     \
+  do {                                                             \
+    ::krcore::Status _krcore_fp = ::krcore::Failpoints::Inject(site); \
+    if (!_krcore_fp.ok()) return _krcore_fp;                       \
+  } while (false)
+
+}  // namespace krcore
+
+#endif  // KRCORE_UTIL_FAILPOINT_H_

@@ -1,0 +1,163 @@
+#include "util/failpoint.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+namespace krcore {
+namespace {
+
+/// The registry is process-global, so every test starts and ends clean.
+class FailpointTest : public ::testing::Test {
+ protected:
+  void SetUp() override { Failpoints::DisableAll(); }
+  void TearDown() override { Failpoints::DisableAll(); }
+};
+
+Status FunctionWithSite() {
+  KRCORE_FAILPOINT("test/site");
+  return Status::OK();
+}
+
+TEST_F(FailpointTest, DisarmedByDefault) {
+  EXPECT_FALSE(Failpoints::AnyArmed());
+  EXPECT_FALSE(Failpoints::ShouldFail("test/never_armed"));
+  EXPECT_TRUE(Failpoints::Inject("test/never_armed").ok());
+  EXPECT_EQ(Failpoints::TotalFired(), 0u);
+}
+
+TEST_F(FailpointTest, OnceFiresExactlyOnceThenDisarms) {
+  Failpoints::Enable("test/site", FailpointSpec::Once());
+  EXPECT_TRUE(Failpoints::AnyArmed());
+  EXPECT_TRUE(Failpoints::ShouldFail("test/site"));
+  EXPECT_FALSE(Failpoints::ShouldFail("test/site"));
+  EXPECT_FALSE(Failpoints::ShouldFail("test/site"));
+  EXPECT_FALSE(Failpoints::AnyArmed());
+  EXPECT_EQ(Failpoints::TotalFired(), 1u);
+}
+
+TEST_F(FailpointTest, EveryNthFiresOnMultiplesOfN) {
+  Failpoints::Enable("test/site", FailpointSpec::EveryNth(3));
+  std::vector<bool> fired;
+  for (int i = 0; i < 9; ++i) {
+    fired.push_back(Failpoints::ShouldFail("test/site"));
+  }
+  EXPECT_EQ(fired, (std::vector<bool>{false, false, true, false, false, true,
+                                      false, false, true}));
+}
+
+TEST_F(FailpointTest, ProbabilityIsDeterministicPerSeed) {
+  auto draw = [](uint64_t seed) {
+    Failpoints::Enable("test/site", FailpointSpec::Probability(0.5, seed));
+    std::vector<bool> fired;
+    for (int i = 0; i < 64; ++i) {
+      fired.push_back(Failpoints::ShouldFail("test/site"));
+    }
+    return fired;
+  };
+  EXPECT_EQ(draw(7), draw(7));
+  EXPECT_NE(draw(7), draw(8));
+}
+
+TEST_F(FailpointTest, ProbabilityExtremes) {
+  Failpoints::Enable("test/site", FailpointSpec::Probability(0.0, 1));
+  for (int i = 0; i < 32; ++i) {
+    EXPECT_FALSE(Failpoints::ShouldFail("test/site"));
+  }
+  Failpoints::Enable("test/site", FailpointSpec::Probability(1.0, 1));
+  for (int i = 0; i < 32; ++i) EXPECT_TRUE(Failpoints::ShouldFail("test/site"));
+}
+
+TEST_F(FailpointTest, InjectNamesTheSite) {
+  Failpoints::Enable("test/site", FailpointSpec::Once());
+  Status s = Failpoints::Inject("test/site");
+  EXPECT_EQ(s.code(), StatusCode::kInternal);
+  EXPECT_NE(s.message().find("test/site"), std::string::npos);
+  EXPECT_TRUE(Failpoints::Inject("test/site").ok());
+}
+
+TEST_F(FailpointTest, MacroReturnsInjectedStatus) {
+  EXPECT_TRUE(FunctionWithSite().ok());
+  Failpoints::Enable("test/site", FailpointSpec::Once());
+  EXPECT_EQ(FunctionWithSite().code(), StatusCode::kInternal);
+  EXPECT_TRUE(FunctionWithSite().ok());
+}
+
+TEST_F(FailpointTest, ConfigureParsesEveryMode) {
+  ASSERT_TRUE(Failpoints::Configure(
+                  "a=once,b=every:4,c=prob:0.25:99,d=prob:1,e=off")
+                  .ok());
+  EXPECT_TRUE(Failpoints::ShouldFail("a"));
+  EXPECT_FALSE(Failpoints::ShouldFail("a"));  // once disarmed
+  EXPECT_FALSE(Failpoints::ShouldFail("b"));
+  EXPECT_FALSE(Failpoints::ShouldFail("b"));
+  EXPECT_FALSE(Failpoints::ShouldFail("b"));
+  EXPECT_TRUE(Failpoints::ShouldFail("b"));  // 4th hit
+  EXPECT_TRUE(Failpoints::ShouldFail("d"));  // prob 1 = always
+  EXPECT_FALSE(Failpoints::ShouldFail("e"));
+}
+
+TEST_F(FailpointTest, ConfigureRejectsMalformedEntriesAtomically) {
+  for (const char* bad :
+       {"nomode", "=once", "a=never", "a=every:0", "a=every:x", "a=prob:1.5",
+        "a=prob:", "a=prob:0.5:xyz"}) {
+    Status s = Failpoints::Configure(bad);
+    EXPECT_EQ(s.code(), StatusCode::kInvalidArgument) << bad;
+  }
+  // A malformed trailing entry must not arm the valid entries before it.
+  EXPECT_FALSE(Failpoints::Configure("good=once,bad=nonsense").ok());
+  EXPECT_FALSE(Failpoints::AnyArmed());
+  EXPECT_FALSE(Failpoints::ShouldFail("good"));
+}
+
+TEST_F(FailpointTest, ConfigureEmptyStringIsANoOp) {
+  EXPECT_TRUE(Failpoints::Configure("").ok());
+  EXPECT_FALSE(Failpoints::AnyArmed());
+}
+
+TEST_F(FailpointTest, ConfigureFromEnvReadsTheVariable) {
+  ASSERT_EQ(setenv("KRCORE_FAILPOINTS", "env/site=once", 1), 0);
+  EXPECT_TRUE(Failpoints::ConfigureFromEnv().ok());
+  EXPECT_TRUE(Failpoints::ShouldFail("env/site"));
+  ASSERT_EQ(setenv("KRCORE_FAILPOINTS", "garbage", 1), 0);
+  EXPECT_FALSE(Failpoints::ConfigureFromEnv().ok());
+  ASSERT_EQ(unsetenv("KRCORE_FAILPOINTS"), 0);
+  EXPECT_TRUE(Failpoints::ConfigureFromEnv().ok());
+}
+
+TEST_F(FailpointTest, StatsCountHitsAndFires) {
+  Failpoints::Enable("test/site", FailpointSpec::EveryNth(2));
+  for (int i = 0; i < 5; ++i) Failpoints::ShouldFail("test/site");
+  FailpointStats stats = Failpoints::StatsFor("test/site");
+  EXPECT_EQ(stats.hits, 5u);
+  EXPECT_EQ(stats.fired, 2u);
+  EXPECT_EQ(Failpoints::TotalFired(), 2u);
+  EXPECT_EQ(Failpoints::AllStats().size(), 1u);
+  Failpoints::DisableAll();
+  EXPECT_EQ(Failpoints::TotalFired(), 0u);
+  EXPECT_EQ(Failpoints::StatsFor("test/site").hits, 0u);
+}
+
+TEST_F(FailpointTest, ReEnableResetsCounters) {
+  Failpoints::Enable("test/site", FailpointSpec::EveryNth(2));
+  Failpoints::ShouldFail("test/site");
+  Failpoints::ShouldFail("test/site");
+  EXPECT_EQ(Failpoints::StatsFor("test/site").fired, 1u);
+  Failpoints::Enable("test/site", FailpointSpec::EveryNth(2));
+  EXPECT_EQ(Failpoints::StatsFor("test/site").hits, 0u);
+  EXPECT_EQ(Failpoints::StatsFor("test/site").fired, 0u);
+}
+
+TEST_F(FailpointTest, DisableLeavesOtherSitesArmed) {
+  Failpoints::Enable("a", FailpointSpec::Once());
+  Failpoints::Enable("b", FailpointSpec::Once());
+  Failpoints::Disable("a");
+  EXPECT_FALSE(Failpoints::ShouldFail("a"));
+  EXPECT_TRUE(Failpoints::AnyArmed());
+  EXPECT_TRUE(Failpoints::ShouldFail("b"));
+}
+
+}  // namespace
+}  // namespace krcore

@@ -16,6 +16,7 @@
 #include "core/maximum.h"
 #include "core/pipeline.h"
 #include "test_helpers.h"
+#include "util/failpoint.h"
 
 namespace krcore {
 namespace {
@@ -587,6 +588,103 @@ TEST(Snapshot, TrailingGarbageIsRejected) {
   WriteAll(file.path(), ReadAll(file.path()) + "extra");
   PreparedWorkspace loaded;
   EXPECT_TRUE(LoadWorkspaceSnapshot(file.path(), &loaded).IsInvalidArgument());
+}
+
+// --- Crash atomicity: a failed save must never damage the previous
+// snapshot, and must never leave the staging file behind. -------------------
+
+class SnapshotFailpoint : public ::testing::Test {
+ protected:
+  void SetUp() override { Failpoints::DisableAll(); }
+  void TearDown() override { Failpoints::DisableAll(); }
+};
+
+bool FileExists(const std::string& path) {
+  return std::ifstream(path, std::ios::binary).good();
+}
+
+TEST_F(SnapshotFailpoint, UnopenablePathIsNotFound) {
+  auto dataset = test::MakeRandomGeo(30, 100, 2);
+  PreparedWorkspace ws = PrepareFixture(dataset, 2, 0.4);
+  Status s = SaveWorkspaceSnapshot(ws, "/nonexistent/dir/x.krws");
+  EXPECT_EQ(s.code(), StatusCode::kNotFound) << s.ToString();
+}
+
+TEST_F(SnapshotFailpoint, FailedSaveLeavesOldSnapshotIntactAndNoTmpFile) {
+  auto old_dataset = test::MakeRandomGeo(60, 260, 21);
+  auto new_dataset = test::MakeRandomGeo(80, 400, 22);
+  PreparedWorkspace old_ws = PrepareFixture(old_dataset, 2, 0.4);
+  PreparedWorkspace new_ws = PrepareFixture(new_dataset, 3, 0.35);
+
+  TempFile file("atomic.krws");
+  ASSERT_TRUE(SaveWorkspaceSnapshot(old_ws, file.path()).ok());
+  const std::string old_bytes = ReadAll(file.path());
+
+  // A fault at any stage of the save — mid-section (leaving a torn
+  // prefix in the staging file), at flush, or at the final rename — must
+  // return Internal, leave the committed file byte-identical, and clean
+  // up the staging file.
+  for (const char* site :
+       {"snapshot/write_section", "snapshot/flush", "snapshot/rename"}) {
+    Failpoints::Enable(site, FailpointSpec::Once());
+    Status s = SaveWorkspaceSnapshot(new_ws, file.path());
+    EXPECT_EQ(s.code(), StatusCode::kInternal) << site;
+    EXPECT_EQ(ReadAll(file.path()), old_bytes) << site;
+    EXPECT_FALSE(FileExists(file.path() + ".tmp")) << site;
+    PreparedWorkspace loaded;
+    ASSERT_TRUE(LoadWorkspaceSnapshot(file.path(), &loaded).ok()) << site;
+    ExpectComponentsEqual(old_ws.components, loaded.components);
+  }
+
+  // With the failpoints drained the very same save commits.
+  ASSERT_TRUE(SaveWorkspaceSnapshot(new_ws, file.path()).ok());
+  PreparedWorkspace loaded;
+  ASSERT_TRUE(LoadWorkspaceSnapshot(file.path(), &loaded).ok());
+  ExpectComponentsEqual(new_ws.components, loaded.components);
+  EXPECT_FALSE(FileExists(file.path() + ".tmp"));
+}
+
+TEST_F(SnapshotFailpoint, WriteSectionFaultNamesTheSectionTag) {
+  auto dataset = test::MakeRandomGeo(40, 150, 9);
+  PreparedWorkspace ws = PrepareFixture(dataset, 2, 0.4);
+  TempFile file("tagged.krws");
+  Failpoints::Enable("snapshot/write_section", FailpointSpec::Once());
+  Status s = SaveWorkspaceSnapshot(ws, file.path());
+  ASSERT_EQ(s.code(), StatusCode::kInternal);
+  EXPECT_NE(s.message().find("section tag"), std::string::npos)
+      << s.ToString();
+}
+
+TEST_F(SnapshotFailpoint, FirstSaveFailureLeavesNoFileAtAll) {
+  auto dataset = test::MakeRandomGeo(40, 150, 10);
+  PreparedWorkspace ws = PrepareFixture(dataset, 2, 0.4);
+  TempFile file("fresh_fail.krws");
+  Failpoints::Enable("snapshot/rename", FailpointSpec::Once());
+  EXPECT_EQ(SaveWorkspaceSnapshot(ws, file.path()).code(),
+            StatusCode::kInternal);
+  EXPECT_FALSE(FileExists(file.path()));
+  EXPECT_FALSE(FileExists(file.path() + ".tmp"));
+}
+
+TEST_F(SnapshotFailpoint, ReadFaultFailsLoadWithEmptyOutput) {
+  auto dataset = test::MakeRandomGeo(40, 150, 13);
+  PreparedWorkspace ws = PrepareFixture(dataset, 2, 0.4);
+  ASSERT_FALSE(ws.components.empty());
+  TempFile file("read_fault.krws");
+  ASSERT_TRUE(SaveWorkspaceSnapshot(ws, file.path()).ok());
+
+  Failpoints::Enable("snapshot/read_section", FailpointSpec::Once());
+  PreparedWorkspace loaded;
+  loaded.k = 99;  // must be reset, not half-filled
+  Status s = LoadWorkspaceSnapshot(file.path(), &loaded);
+  EXPECT_EQ(s.code(), StatusCode::kInternal) << s.ToString();
+  EXPECT_TRUE(loaded.components.empty());
+  EXPECT_EQ(loaded.k, 0u);
+
+  // The file itself is untouched: the next load succeeds.
+  PreparedWorkspace reloaded;
+  ASSERT_TRUE(LoadWorkspaceSnapshot(file.path(), &reloaded).ok());
+  ExpectComponentsEqual(ws.components, reloaded.components);
 }
 
 }  // namespace

@@ -1,10 +1,13 @@
 #ifndef KRCORE_TESTS_TEST_HELPERS_H_
 #define KRCORE_TESTS_TEST_HELPERS_H_
 
+#include <algorithm>
+#include <string>
 #include <utility>
 #include <vector>
 
 #include "core/dissimilarity_index.h"
+#include "core/pipeline.h"
 #include "datasets/dataset.h"
 #include "datasets/generators.h"
 #include "graph/graph_builder.h"
@@ -85,6 +88,82 @@ inline Dataset MakeRandomKeyword(uint32_t n, uint32_t m, uint64_t seed,
   c.keywords_per_vertex = per_vertex;
   c.seed = seed;
   return MakeRandomAttributed(c);
+}
+
+/// Bit-identical workspace comparison: every identity field, every
+/// component's parent map, structure CSR, and dissimilarity rows including
+/// stored scores and the reserve segment. Returns "" when identical, else a
+/// one-line description of the first difference — gtest-free so both the
+/// rollback tests and the chaos harness can assert on it directly. This is
+/// the lock for the transactional contracts: a rolled-back update and a
+/// failed snapshot save must leave their workspace with an empty diff
+/// against the pre-operation copy.
+inline std::string DiffWorkspaces(const PreparedWorkspace& a,
+                                  const PreparedWorkspace& b) {
+  if (a.k != b.k) return "k differs";
+  if (a.threshold != b.threshold) return "threshold differs";
+  if (a.score_cover != b.score_cover) return "score_cover differs";
+  if (a.scored != b.scored) return "scored flag differs";
+  if (a.is_distance != b.is_distance) return "is_distance flag differs";
+  if (a.bitset_min_degree != b.bitset_min_degree) {
+    return "bitset_min_degree differs";
+  }
+  if (a.version != b.version) {
+    return "version differs (" + std::to_string(a.version) + " vs " +
+           std::to_string(b.version) + ")";
+  }
+  if (a.components.size() != b.components.size()) {
+    return "component count differs (" +
+           std::to_string(a.components.size()) + " vs " +
+           std::to_string(b.components.size()) + ")";
+  }
+  for (size_t c = 0; c < a.components.size(); ++c) {
+    const ComponentContext& x = a.components[c];
+    const ComponentContext& y = b.components[c];
+    const std::string where = "component " + std::to_string(c);
+    if (x.to_parent != y.to_parent) return where + ": to_parent differs";
+    if (x.graph.num_edges() != y.graph.num_edges()) {
+      return where + ": edge count differs";
+    }
+    if (x.dissimilar.num_pairs() != y.dissimilar.num_pairs()) {
+      return where + ": dissimilar pair count differs";
+    }
+    if (x.dissimilar.num_reserve_pairs() != y.dissimilar.num_reserve_pairs()) {
+      return where + ": reserve pair count differs";
+    }
+    if (x.dissimilar.bitset_rows() != y.dissimilar.bitset_rows()) {
+      return where + ": bitset row count differs";
+    }
+    for (VertexId u = 0; u < x.size(); ++u) {
+      const std::string at = where + " vertex " + std::to_string(u);
+      auto xn = x.graph.neighbors(u);
+      auto yn = y.graph.neighbors(u);
+      if (!std::equal(xn.begin(), xn.end(), yn.begin(), yn.end())) {
+        return at + ": adjacency differs";
+      }
+      auto xd = x.dissimilar[u];
+      auto yd = y.dissimilar[u];
+      if (!std::equal(xd.begin(), xd.end(), yd.begin(), yd.end())) {
+        return at + ": dissimilar row differs";
+      }
+      auto xs = x.dissimilar.row_scores(u);
+      auto ys = y.dissimilar.row_scores(u);
+      if (!std::equal(xs.begin(), xs.end(), ys.begin(), ys.end())) {
+        return at + ": row scores differ";
+      }
+      auto xr = x.dissimilar.reserve_row(u);
+      auto yr = y.dissimilar.reserve_row(u);
+      if (!std::equal(xr.begin(), xr.end(), yr.begin(), yr.end())) {
+        return at + ": reserve row differs";
+      }
+      auto xrs = x.dissimilar.reserve_scores(u);
+      auto yrs = y.dissimilar.reserve_scores(u);
+      if (!std::equal(xrs.begin(), xrs.end(), yrs.begin(), yrs.end())) {
+        return at + ": reserve scores differ";
+      }
+    }
+  }
+  return "";
 }
 
 }  // namespace test

@@ -11,6 +11,7 @@
 #include "core/maximum.h"
 #include "graph/graph_builder.h"
 #include "test_helpers.h"
+#include "util/failpoint.h"
 #include "util/random.h"
 
 namespace krcore {
@@ -448,6 +449,144 @@ TEST(WorkspaceUpdate, OneShotWrapperMatchesUpdaterAndMaximumAgrees) {
   ASSERT_TRUE(maintained_max.status.ok());
   ASSERT_TRUE(cold_max.status.ok());
   EXPECT_EQ(maintained_max.best, cold_max.best);
+}
+
+// --- Transactional rollback: a fault injected at any abort poll leaves the
+// workspace bit-identical and the updater fully usable. ---------------------
+
+class UpdateRollback : public ::testing::Test {
+ protected:
+  void SetUp() override { Failpoints::DisableAll(); }
+  void TearDown() override { Failpoints::DisableAll(); }
+};
+
+/// Arms `site` once, applies a randomized batch expecting the injected
+/// Internal, asserts bit-identical rollback, then — failpoint drained —
+/// re-applies the *same batch through the same updater* and checks the
+/// committed result against a cold re-preparation. The second half is the
+/// sharp edge: it proves the updater's internal mirrors (sim_adj_, in_core_,
+/// comp_of_, scratch flags) rolled back too, not just the workspace.
+void RunRollbackCase(const char* site, double max_dirty_fraction,
+                     uint64_t seed) {
+  auto dataset = test::MakeRandomGeo(120, 700, seed);
+  SimilarityOracle oracle(&dataset.attributes, dataset.metric, 0.35);
+  PipelineOptions prep;
+  prep.k = 2;
+  PreparedWorkspace ws;
+  ASSERT_TRUE(PrepareWorkspace(dataset.graph, oracle, prep, &ws).ok());
+  const PreparedWorkspace before = ws;
+
+  WorkspaceUpdater updater(dataset.graph, oracle, &ws);
+  EdgeSet edges(dataset.graph);
+  Rng rng(seed * 31 + 7);
+  std::vector<EdgeUpdate> batch = RandomBatch(edges, 10, 10, &rng);
+
+  UpdateOptions options;
+  options.max_dirty_fraction = max_dirty_fraction;
+
+  Failpoints::Enable(site, FailpointSpec::Once());
+  UpdateReport report;
+  Status s = updater.ApplyEdgeUpdates(batch, options, &report);
+  // `once` on a site a small batch may not reach would silently pass; the
+  // fired counter distinguishes "rolled back correctly" from "never hit".
+  ASSERT_EQ(Failpoints::StatsFor(site).fired, 1u)
+      << site << " never fired for this batch shape";
+  ASSERT_EQ(s.code(), StatusCode::kInternal) << site << ": " << s.ToString();
+  EXPECT_EQ(test::DiffWorkspaces(before, ws), "") << site;
+  EXPECT_EQ(report.rolled_back_batches, 1u) << site;
+  EXPECT_EQ(report.updates_applied, 0u) << site;
+  EXPECT_EQ(updater.cumulative().rolled_back_batches, 1u) << site;
+
+  Failpoints::DisableAll();
+  for (const auto& upd : batch) edges.Apply(upd);
+  ASSERT_TRUE(updater.ApplyEdgeUpdates(batch, options, &report).ok()) << site;
+  EXPECT_EQ(ws.version, before.version + 1) << site;
+  EXPECT_EQ(report.rolled_back_batches, 0u) << site;
+
+  PreparedWorkspace fresh;
+  ASSERT_TRUE(PrepareWorkspace(edges.Build(), oracle, prep, &fresh).ok());
+  ExpectStructurallyIdentical(ws, fresh, site);
+}
+
+TEST_F(UpdateRollback, ReplayFault) {
+  RunRollbackCase("update/replay", 0.35, 41);
+}
+
+TEST_F(UpdateRollback, RepairFault) {
+  RunRollbackCase("update/repair", 0.35, 42);
+}
+
+TEST_F(UpdateRollback, RebuildComponentFault) {
+  RunRollbackCase("update/rebuild_component", 0.35, 43);
+}
+
+TEST_F(UpdateRollback, FallbackResweepFault) {
+  // max_dirty_fraction = 0 forces every rebuilt component through the
+  // fallback pair re-sweep, so its abort poll is guaranteed to be reached.
+  RunRollbackCase("update/fallback_resweep", 0.0, 44);
+}
+
+TEST_F(UpdateRollback, BeforeCommitFault) {
+  RunRollbackCase("update/before_commit", 0.35, 45);
+}
+
+TEST_F(UpdateRollback, JoinPairsFaultInsideTheFallbackRollsBack) {
+  // The fault fires *inside* the join engine the fallback delegates to (at
+  // its operation-count poll), not at an updater poll — the abort must
+  // still surface as a clean Internal and roll back. every:1 instead of
+  // once: the join is chunked and more than one chunk may poll.
+  auto dataset = test::MakeRandomGeo(120, 700, 46);
+  SimilarityOracle oracle(&dataset.attributes, dataset.metric, 0.35);
+  PipelineOptions prep;
+  prep.k = 2;
+  PreparedWorkspace ws;
+  ASSERT_TRUE(PrepareWorkspace(dataset.graph, oracle, prep, &ws).ok());
+  const PreparedWorkspace before = ws;
+
+  WorkspaceUpdater updater(dataset.graph, oracle, &ws);
+  EdgeSet edges(dataset.graph);
+  Rng rng(461);
+  std::vector<EdgeUpdate> batch = RandomBatch(edges, 10, 10, &rng);
+
+  UpdateOptions options;
+  options.max_dirty_fraction = 0.0;  // force the fallback join
+  Failpoints::Enable("join/self_join", FailpointSpec::EveryNth(1));
+  Status s = updater.ApplyEdgeUpdates(batch, options, nullptr);
+  Failpoints::DisableAll();
+  ASSERT_EQ(s.code(), StatusCode::kInternal) << s.ToString();
+  EXPECT_NE(s.message().find("fallback resweep"), std::string::npos)
+      << s.ToString();
+  EXPECT_EQ(test::DiffWorkspaces(before, ws), "");
+
+  for (const auto& upd : batch) edges.Apply(upd);
+  ASSERT_TRUE(updater.ApplyEdgeUpdates(batch, options, nullptr).ok());
+  PreparedWorkspace fresh;
+  ASSERT_TRUE(PrepareWorkspace(edges.Build(), oracle, prep, &fresh).ok());
+  ExpectStructurallyIdentical(ws, fresh, "join fault recovery");
+}
+
+TEST_F(UpdateRollback, RolledBackBatchesAccumulateAcrossFaults) {
+  auto dataset = test::MakeRandomGeo(90, 450, 47);
+  SimilarityOracle oracle(&dataset.attributes, dataset.metric, 0.35);
+  PipelineOptions prep;
+  prep.k = 2;
+  PreparedWorkspace ws;
+  ASSERT_TRUE(PrepareWorkspace(dataset.graph, oracle, prep, &ws).ok());
+  const PreparedWorkspace before = ws;
+
+  WorkspaceUpdater updater(dataset.graph, oracle, &ws);
+  EdgeSet edges(dataset.graph);
+  Rng rng(471);
+  std::vector<EdgeUpdate> batch = RandomBatch(edges, 8, 8, &rng);
+
+  for (int i = 0; i < 3; ++i) {
+    Failpoints::Enable("update/replay", FailpointSpec::Once());
+    EXPECT_FALSE(updater.ApplyEdgeUpdates(batch, UpdateOptions{}, nullptr)
+                     .ok());
+  }
+  EXPECT_EQ(updater.cumulative().rolled_back_batches, 3u);
+  EXPECT_EQ(test::DiffWorkspaces(before, ws), "");
+  EXPECT_EQ(ws.version, before.version);
 }
 
 }  // namespace
