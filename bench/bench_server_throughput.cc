@@ -1,0 +1,287 @@
+// Measures the query-server layer against direct library calls on the same
+// substrate: the staged executor's pipelining and coalescing should make a
+// served (k,r) workload competitive with (and under duplicate-heavy load
+// faster than) a sequential client that derives and mines each cell itself.
+//
+//   Serve   a mixed enumerate/max workload over a scored serving interval:
+//             Direct      sequential DeriveWorkspace + mine per query
+//             Server      the same workload via QueryServer from 4 client
+//                         threads (coalescing on)
+//             NoCoalesce  coalescing disabled (every duplicate re-executes)
+//           The Speedup series records direct_total / server_total.
+//
+// Responses are verified identical to the direct results; the CI
+// bench-smoke job checks the emitted JSON with bench/check_bench_json.py.
+//
+// Usage: bench_server_throughput [--scale=] [--timeout=] [--quick]
+//                                [--json=BENCH_server.json] [--csv=]
+
+#include <cstdio>
+#include <future>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench_support/experiment.h"
+#include "core/pipeline.h"
+#include "datasets/generators.h"
+#include "server/query_server.h"
+#include "server/workspace_registry.h"
+#include "util/options.h"
+#include "util/timer.h"
+
+using namespace krcore;
+
+namespace {
+
+/// The serving-shaped geo-social network of bench_sweep_reuse: a few large,
+/// attribute-tight communities, so preparation dominates a cold run and the
+/// per-cell search stays light — the regime a resident server exists for.
+Dataset ServingDataset(const ExperimentEnv& env) {
+  GeoSocialConfig c;
+  c.num_vertices = static_cast<uint32_t>(30000 * env.scale);
+  c.average_degree = 8.0;
+  c.shape.num_communities = 4;
+  c.shape.avg_subgroup_size = 120;
+  c.city_sigma_km = 2.0;
+  c.neighborhood_sigma_km = 0.5;
+  c.seed = env.seed;
+  return MakeGeoSocial(c, "serving");
+}
+
+struct WorkItem {
+  QueryKind kind;
+  uint32_t k;
+  double r;
+};
+
+std::string CellLabel(const WorkItem& w) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%s:k=%u,r=%gkm", QueryKindName(w.kind),
+                w.k, w.r);
+  return buf;
+}
+
+/// The benchmark workload: cells across the serving interval with heavy
+/// duplication (the realistic dashboard/API pattern coalescing targets).
+std::vector<WorkItem> MakeWorkload(bool quick) {
+  std::vector<WorkItem> unique = {
+      {QueryKind::kEnumerate, 3, 80.0}, {QueryKind::kEnumerate, 4, 60.0},
+      {QueryKind::kMaximum, 3, 60.0},   {QueryKind::kEnumerate, 5, 40.0},
+      {QueryKind::kMaximum, 4, 80.0},   {QueryKind::kEnumerate, 3, 40.0},
+  };
+  if (quick) unique.resize(3);
+  std::vector<WorkItem> workload;
+  const int copies = quick ? 2 : 4;
+  for (int c = 0; c < copies; ++c) {
+    workload.insert(workload.end(), unique.begin(), unique.end());
+  }
+  return workload;
+}
+
+/// Sequential client baseline: each query derives its cell (when it is not
+/// the base identity) and mines it directly.
+double RunDirect(const PreparedWorkspace& base,
+                 const std::vector<WorkItem>& workload,
+                 const ExperimentEnv& env,
+                 std::vector<std::vector<VertexSet>>* results,
+                 FigureReport* report) {
+  Timer total;
+  for (const auto& w : workload) {
+    Timer per_query;
+    PreparedWorkspace derived;
+    const std::vector<ComponentContext>* components = &base.components;
+    if (w.k != base.k || w.r != base.threshold) {
+      PipelineOptions pipe;
+      pipe.k = w.k;
+      Status s = DeriveWorkspace(base, w.k, w.r, pipe, &derived);
+      if (!s.ok()) {
+        std::fprintf(stderr, "derive failed: %s\n", s.ToString().c_str());
+        continue;
+      }
+      components = &derived.components;
+    }
+    Measurement m;
+    if (w.kind == QueryKind::kEnumerate) {
+      EnumOptions opts = AdvEnumOptions(w.k);
+      opts.deadline = Deadline::AfterSeconds(env.timeout_seconds);
+      opts.parallel.num_threads = env.threads;
+      MaximalCoresResult result = EnumerateMaximalCores(*components, opts);
+      results->push_back(result.cores);
+      m = MeasureEnum("Direct", CellLabel(w), result);
+    } else {
+      MaxOptions opts = AdvMaxOptions(w.k);
+      opts.deadline = Deadline::AfterSeconds(env.timeout_seconds);
+      opts.parallel.num_threads = env.threads;
+      MaximumCoreResult result = FindMaximumCore(*components, opts);
+      results->push_back(result.best.empty()
+                             ? std::vector<VertexSet>{}
+                             : std::vector<VertexSet>{result.best});
+      m = MeasureMax("Direct", CellLabel(w), result);
+    }
+    m.seconds = per_query.ElapsedSeconds();  // include the derivation
+    report->Add(m);
+  }
+  return total.ElapsedSeconds();
+}
+
+/// Served run: the same workload submitted from `num_clients` threads.
+double RunServed(const WorkspaceRegistry& registry,
+                 const std::vector<WorkItem>& workload, bool coalesce,
+                 const std::string& series, const ExperimentEnv& env,
+                 std::vector<std::vector<VertexSet>>* results,
+                 uint64_t* coalesce_hits, FigureReport* report) {
+  ServerOptions options;
+  options.queue_capacity = static_cast<uint32_t>(workload.size()) + 8;
+  options.derive_threads = 2;
+  options.mine_threads = 2;
+  options.coalesce = coalesce;
+  options.default_timeout_seconds = env.timeout_seconds;
+  options.parallel.num_threads = env.threads;
+  QueryServer server(&registry, options);
+  server.Start();
+
+  const int num_clients = 4;
+  std::vector<std::shared_future<QueryResponse>> futures(workload.size());
+  Timer total;
+  {
+    std::vector<std::thread> clients;
+    clients.reserve(num_clients);
+    for (int c = 0; c < num_clients; ++c) {
+      clients.emplace_back([&, c] {
+        for (size_t i = c; i < workload.size(); i += num_clients) {
+          const WorkItem& w = workload[i];
+          QueryRequest request;
+          request.workspace = "serving";
+          request.kind = w.kind;
+          request.k = w.k;
+          request.r = w.r;
+          request.timeout_seconds = env.timeout_seconds;
+          futures[i] = server.Submit(request);
+        }
+      });
+    }
+    for (auto& t : clients) t.join();
+    for (auto& f : futures) f.wait();
+  }
+  const double seconds = total.ElapsedSeconds();
+
+  results->clear();
+  for (size_t i = 0; i < workload.size(); ++i) {
+    QueryResponse response = futures[i].get();
+    if (!response.status.ok()) {
+      std::fprintf(stderr, "served query %s failed: %s\n",
+                   CellLabel(workload[i]).c_str(),
+                   response.status.ToString().c_str());
+    }
+    results->push_back(response.cores);
+    Measurement m;
+    m.series = series;
+    m.x_label = CellLabel(workload[i]);
+    m.seconds = response.wait_seconds + response.derive_seconds +
+                response.mine_seconds;
+    m.stats = response.stats;
+    m.result_count = response.count;
+    for (const auto& core : response.cores) {
+      m.result_size_max = std::max<uint64_t>(m.result_size_max, core.size());
+    }
+    report->Add(m);
+  }
+  *coalesce_hits = server.Stats().coalesce_hits;
+  server.Stop();
+  return seconds;
+}
+
+Measurement Total(const std::string& series, double seconds) {
+  Measurement m;
+  m.series = series;
+  m.x_label = "total";
+  m.seconds = seconds;
+  return m;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  OptionParser options(argc, argv);
+  auto env = ExperimentEnv::FromOptions(options);
+
+  Dataset serving = ServingDataset(env);
+  std::printf("%s\n", serving.StatsString().c_str());
+
+  // One scored preparation serves the whole workload: loosest r = 80 km,
+  // scores covering down to 40 km (distance metric, so cover < threshold).
+  SimilarityOracle oracle = serving.MakeOracle(80.0);
+  PipelineOptions prep;
+  prep.k = 3;
+  prep.score_cover = 40.0;
+  prep.deadline = Deadline::AfterSeconds(env.timeout_seconds * 4);
+  PreparedWorkspace ws;
+  if (Status s = PrepareWorkspace(serving.graph, oracle, prep, &ws); !s.ok()) {
+    std::fprintf(stderr, "prepare failed: %s\n", s.ToString().c_str());
+    return 1;
+  }
+
+  WorkspaceRegistry registry;
+  if (Status s = registry.Add("serving", std::move(ws)); !s.ok()) {
+    std::fprintf(stderr, "register failed: %s\n", s.ToString().c_str());
+    return 1;
+  }
+  const PreparedWorkspace& base = *registry.Find("serving");
+
+  std::vector<WorkItem> workload = MakeWorkload(env.quick);
+  std::printf("--- Serve: %zu queries (%s), 4 clients ---\n", workload.size(),
+              env.quick ? "quick" : "full");
+
+  FigureReport figure("Serve",
+                      "served (k,r) workload vs direct library calls");
+  std::vector<std::vector<VertexSet>> direct_results;
+  double direct_seconds =
+      RunDirect(base, workload, env, &direct_results, &figure);
+
+  std::vector<std::vector<VertexSet>> served_results;
+  uint64_t hits = 0;
+  double served_seconds = RunServed(registry, workload, /*coalesce=*/true,
+                                    "Server", env, &served_results, &hits,
+                                    &figure);
+  std::vector<std::vector<VertexSet>> uncoalesced_results;
+  uint64_t no_hits = 0;
+  double uncoalesced_seconds =
+      RunServed(registry, workload, /*coalesce=*/false, "NoCoalesce", env,
+                &uncoalesced_results, &no_hits, &figure);
+
+  bool identical = served_results == direct_results &&
+                   uncoalesced_results == direct_results;
+  double speedup =
+      served_seconds > 0 ? direct_seconds / served_seconds : 0.0;
+  figure.Add(Total("Direct", direct_seconds));
+  figure.Add(Total("Server", served_seconds));
+  figure.Add(Total("NoCoalesce", uncoalesced_seconds));
+  figure.Add(Total("Speedup", speedup));
+  figure.Finish(env);
+
+  std::printf(
+      "direct %.3fs  server %.3fs (%llu coalesce hits)  no-coalesce %.3fs "
+      "(%llu hits)  speedup %.2fx  results %s\n",
+      direct_seconds, served_seconds, (unsigned long long)hits,
+      uncoalesced_seconds, (unsigned long long)no_hits, speedup,
+      identical ? "identical" : "DIFFER (BUG)");
+  if (!identical) return 1;
+
+  if (!env.json_path.empty()) {
+    char command[160];
+    std::snprintf(command, sizeof(command),
+                  "bench_server_throughput --scale=%g --timeout=%g%s",
+                  env.scale, env.timeout_seconds, env.quick ? " --quick" : "");
+    WriteJsonReport(
+        env.json_path, "bench_server_throughput",
+        "Query-server layer vs direct library calls on one scored serving "
+        "substrate: a duplicate-heavy enumerate/max workload submitted from "
+        "4 concurrent clients through the staged executor (admission, "
+        "coalescing, per-stage workers), with responses verified identical "
+        "to sequential DeriveWorkspace+mine. The Speedup series at x=total "
+        "records direct/server wall time.",
+        command, env, {&figure});
+  }
+  return 0;
+}

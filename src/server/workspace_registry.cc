@@ -1,0 +1,135 @@
+#include "server/workspace_registry.h"
+
+#include <utility>
+
+#include "snapshot/workspace_snapshot.h"
+
+namespace krcore {
+
+Status WorkspaceRegistry::Add(const std::string& name, PreparedWorkspace ws) {
+  if (name.empty()) {
+    return Status::InvalidArgument("workspace name must not be empty");
+  }
+  if (ws.k == 0) {
+    return Status::InvalidArgument("workspace '" + name +
+                                   "' is empty (k == 0); register only "
+                                   "PrepareWorkspace/snapshot output");
+  }
+  std::lock_guard<std::mutex> lock(mu_);
+  auto [it, inserted] = entries_.emplace(
+      name, std::make_shared<const PreparedWorkspace>(std::move(ws)));
+  (void)it;
+  if (!inserted) {
+    return Status::InvalidArgument("workspace '" + name +
+                                   "' is already registered");
+  }
+  return Status::OK();
+}
+
+Status WorkspaceRegistry::Replace(const std::string& name,
+                                  PreparedWorkspace ws) {
+  if (name.empty()) {
+    return Status::InvalidArgument("workspace name must not be empty");
+  }
+  if (ws.k == 0) {
+    return Status::InvalidArgument("workspace '" + name +
+                                   "' is empty (k == 0)");
+  }
+  std::lock_guard<std::mutex> lock(mu_);
+  entries_[name] = std::make_shared<const PreparedWorkspace>(std::move(ws));
+  return Status::OK();
+}
+
+Status WorkspaceRegistry::AddFromSnapshot(const std::string& name,
+                                          const std::string& path) {
+  PreparedWorkspace ws;
+  Status s = LoadWorkspaceSnapshot(path, &ws);
+  if (!s.ok()) return s;
+  return Add(name, std::move(ws));
+}
+
+Status WorkspaceRegistry::Alias(const std::string& alias,
+                                const std::string& existing) {
+  if (alias.empty()) {
+    return Status::InvalidArgument("workspace name must not be empty");
+  }
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = entries_.find(existing);
+  if (it == entries_.end()) {
+    return Status::NotFound("workspace '" + existing + "' is not registered");
+  }
+  auto [alias_it, inserted] = entries_.emplace(alias, it->second);
+  (void)alias_it;
+  if (!inserted) {
+    return Status::InvalidArgument("workspace '" + alias +
+                                   "' is already registered");
+  }
+  return Status::OK();
+}
+
+Status WorkspaceRegistry::Remove(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (entries_.erase(name) == 0) {
+    return Status::NotFound("workspace '" + name + "' is not registered");
+  }
+  return Status::OK();
+}
+
+std::shared_ptr<const PreparedWorkspace> WorkspaceRegistry::Find(
+    const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = entries_.find(name);
+  return it == entries_.end() ? nullptr : it->second;
+}
+
+Status WorkspaceRegistry::Resolve(
+    const std::string& name, uint32_t k, double r,
+    std::shared_ptr<const PreparedWorkspace>* out) const {
+  std::shared_ptr<const PreparedWorkspace> ws = Find(name);
+  if (!ws) {
+    return Status::NotFound("workspace '" + name + "' is not registered");
+  }
+  if (!ws->Serves(k, r)) {
+    std::string range =
+        ws->scored ? "r in [" + std::to_string(ws->threshold) + ", " +
+                         std::to_string(ws->score_cover) + "]"
+                   : "r == " + std::to_string(ws->threshold);
+    if (ws->scored && ws->is_distance) {
+      range = "r in [" + std::to_string(ws->score_cover) + ", " +
+              std::to_string(ws->threshold) + "]";
+    }
+    return Status::InvalidArgument(
+        "workspace '" + name + "' cannot serve (k=" + std::to_string(k) +
+        ", r=" + std::to_string(r) + "); it serves k >= " +
+        std::to_string(ws->k) + " and " + range);
+  }
+  *out = std::move(ws);
+  return Status::OK();
+}
+
+std::vector<WorkspaceRegistry::Entry> WorkspaceRegistry::List() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<Entry> out;
+  out.reserve(entries_.size());
+  for (const auto& [name, ws] : entries_) {
+    Entry e;
+    e.name = name;
+    e.k = ws->k;
+    e.threshold = ws->threshold;
+    e.score_cover = ws->score_cover;
+    e.scored = ws->scored;
+    e.is_distance = ws->is_distance;
+    e.version = ws->version;
+    e.num_components = ws->components.size();
+    e.num_vertices = ws->num_vertices();
+    out.push_back(std::move(e));
+  }
+  return out;
+}
+
+size_t WorkspaceRegistry::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return entries_.size();
+}
+
+}  // namespace krcore

@@ -1,0 +1,84 @@
+#ifndef KRCORE_SERVER_WORKSPACE_REGISTRY_H_
+#define KRCORE_SERVER_WORKSPACE_REGISTRY_H_
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "core/pipeline.h"
+#include "util/status.h"
+
+namespace krcore {
+
+/// Named, immutable prepared workspaces held resident for serving. The
+/// registry is the server's source of substrates: each entry is a
+/// PreparedWorkspace (built in-process or loaded from a snapshot file) that
+/// concurrent queries read without synchronization — entries are frozen at
+/// registration and handed out as shared_ptr<const>, so a Replace/Remove
+/// never invalidates a query that is already mining the old substrate.
+class WorkspaceRegistry {
+ public:
+  /// One row of List(): the serving identity of a registered workspace.
+  struct Entry {
+    std::string name;
+    uint32_t k = 0;
+    double threshold = 0.0;
+    double score_cover = 0.0;
+    bool scored = false;
+    bool is_distance = false;
+    uint64_t version = 0;
+    size_t num_components = 0;
+    uint64_t num_vertices = 0;
+  };
+
+  /// Registers `ws` under `name`. Rejects empty names, names already
+  /// registered (use Replace to swap a live entry), and empty workspaces
+  /// (k == 0 — nothing PrepareWorkspace produced).
+  Status Add(const std::string& name, PreparedWorkspace ws);
+
+  /// Atomically swaps the entry under `name` (which need not exist yet) —
+  /// the hot-reload path for a workspace re-prepared or updated offline.
+  /// In-flight queries keep the substrate they resolved; only queries
+  /// admitted after the swap see the new one.
+  Status Replace(const std::string& name, PreparedWorkspace ws);
+
+  /// LoadWorkspaceSnapshot(path) + Add. The snapshot layer re-validates
+  /// every structural invariant, so a corrupt file never registers.
+  Status AddFromSnapshot(const std::string& name, const std::string& path);
+
+  /// Registers `alias` as a second name for the substrate currently under
+  /// `existing` (no copy — both names share it). The krcore_server binary
+  /// aliases its first snapshot to "default" so single-workspace sessions
+  /// can omit `ws=`. The alias is an independent entry afterwards: Replace
+  /// and Remove on either name do not affect the other.
+  Status Alias(const std::string& alias, const std::string& existing);
+
+  Status Remove(const std::string& name);
+
+  /// The workspace registered under `name`, or nullptr. The returned
+  /// pointer keeps the substrate alive independently of later
+  /// Replace/Remove calls.
+  std::shared_ptr<const PreparedWorkspace> Find(const std::string& name) const;
+
+  /// Find + servability check: NotFound for an unknown name,
+  /// InvalidArgument naming the workspace's serving range when it cannot
+  /// serve (k, r), otherwise OK with *out set.
+  Status Resolve(const std::string& name, uint32_t k, double r,
+                 std::shared_ptr<const PreparedWorkspace>* out) const;
+
+  /// Serving identities of every registered workspace, in name order.
+  std::vector<Entry> List() const;
+
+  size_t size() const;
+
+ private:
+  mutable std::mutex mu_;
+  std::map<std::string, std::shared_ptr<const PreparedWorkspace>> entries_;
+};
+
+}  // namespace krcore
+
+#endif  // KRCORE_SERVER_WORKSPACE_REGISTRY_H_

@@ -51,9 +51,11 @@ class Status {
   bool IsInvalidArgument() const {
     return code_ == StatusCode::kInvalidArgument;
   }
+  bool IsNotFound() const { return code_ == StatusCode::kNotFound; }
   bool IsResourceExhausted() const {
     return code_ == StatusCode::kResourceExhausted;
   }
+  bool IsInternal() const { return code_ == StatusCode::kInternal; }
   StatusCode code() const { return code_; }
   const std::string& message() const { return message_; }
 
