@@ -66,6 +66,11 @@ int main(int argc, char** argv) {
         "newline-delimited stdin/stdout (docs/SERVER.md has the protocol).\n"
         "  --snapshots=SPECS  workspaces to load and register, as\n"
         "                     comma-separated name=path snapshot specs\n"
+        "  --load_mode=MODE   lazy (default) mmaps v4 snapshots and defers\n"
+        "                     per-component validation to first touch for\n"
+        "                     near-instant cold start; eager validates\n"
+        "                     everything up front (v1-v3 files are always\n"
+        "                     eager)\n"
         "  --queue=N          admission bound: at most N queries in flight;\n"
         "                     further ones are rejected with\n"
         "                     RESOURCE_EXHAUSTED (default 64)\n"
@@ -104,9 +109,17 @@ int main(int argc, char** argv) {
     return Fail("bad --snapshots spec (want NAME=PATH[,NAME=PATH...])");
   }
 
+  const std::string load_mode = options.GetString("load_mode", "lazy");
+  if (load_mode != "lazy" && load_mode != "eager") {
+    return Fail("bad --load_mode '" + load_mode + "' (want lazy or eager)");
+  }
+  const WorkspaceRegistry::SnapshotLoadMode mode =
+      load_mode == "lazy" ? WorkspaceRegistry::SnapshotLoadMode::kLazy
+                          : WorkspaceRegistry::SnapshotLoadMode::kEager;
+
   WorkspaceRegistry registry;
   for (const auto& [name, path] : specs) {
-    if (Status s = registry.AddFromSnapshot(name, path); !s.ok()) {
+    if (Status s = registry.AddFromSnapshot(name, path, mode); !s.ok()) {
       return Fail("loading '" + name + "' from " + path + ": " + s.message());
     }
     auto ws = registry.Find(name);
@@ -114,12 +127,19 @@ int main(int argc, char** argv) {
         ws->scored
             ? " (scores cover r=" + std::to_string(ws->score_cover) + ")"
             : "";
+    WorkspaceRegistry::Entry reg_entry;
+    for (auto& e : registry.List()) {
+      if (e.name == name) reg_entry = e;
+    }
     std::fprintf(stderr,
                  "registered '%s': k=%u r=%g%s version=%llu, "
-                 "%zu components, %u vertices\n",
+                 "%zu components, %u vertices "
+                 "(snapshot v%u, %s%s, %.3fs load)\n",
                  name.c_str(), ws->k, ws->threshold, cover_note.c_str(),
                  (unsigned long long)ws->version, ws->components.size(),
-                 (unsigned)ws->num_vertices());
+                 (unsigned)ws->num_vertices(), reg_entry.snapshot_version,
+                 reg_entry.lazy_loaded ? "lazy" : "eager",
+                 reg_entry.mapped ? " mmap" : "", reg_entry.load_seconds);
   }
   // Single-workspace ergonomics: requests that omit ws= target "default",
   // so point it at the first snapshot unless the user named one that.

@@ -8,12 +8,133 @@
 
 namespace krcore {
 
+DissimilarityIndex& DissimilarityIndex::operator=(
+    const DissimilarityIndex& o) {
+  if (this == &o) return *this;
+  n_ = o.n_;
+  num_pairs_ = o.num_pairs_;
+  num_reserve_pairs_ = o.num_reserve_pairs_;
+  annotated_empty_ = o.annotated_empty_;
+  borrowed_ = o.borrowed_;
+  arena_ = o.arena_;  // immutable once built — safe to share across copies
+  if (o.borrowed_) {
+    offsets_.clear();
+    active_end_.clear();
+    ids_.clear();
+    scores_.clear();
+    offsets_view_ = o.offsets_view_;
+    active_end_view_ = o.active_end_view_;
+    ids_view_ = o.ids_view_;
+    scores_view_ = o.scores_view_;
+  } else {
+    offsets_ = o.offsets_;
+    active_end_ = o.active_end_;
+    ids_ = o.ids_;
+    scores_ = o.scores_;
+    RebindOwned();
+  }
+  return *this;
+}
+
+DissimilarityIndex& DissimilarityIndex::operator=(
+    DissimilarityIndex&& o) noexcept {
+  if (this == &o) return *this;
+  n_ = o.n_;
+  num_pairs_ = o.num_pairs_;
+  num_reserve_pairs_ = o.num_reserve_pairs_;
+  annotated_empty_ = o.annotated_empty_;
+  borrowed_ = o.borrowed_;
+  arena_ = std::move(o.arena_);
+  offsets_ = std::move(o.offsets_);
+  active_end_ = std::move(o.active_end_);
+  ids_ = std::move(o.ids_);
+  scores_ = std::move(o.scores_);
+  if (borrowed_) {
+    offsets_view_ = o.offsets_view_;
+    active_end_view_ = o.active_end_view_;
+    ids_view_ = o.ids_view_;
+    scores_view_ = o.scores_view_;
+  } else {
+    RebindOwned();
+  }
+  o.n_ = 0;
+  o.num_pairs_ = 0;
+  o.num_reserve_pairs_ = 0;
+  o.annotated_empty_ = false;
+  o.borrowed_ = false;
+  o.offsets_.clear();
+  o.active_end_.clear();
+  o.ids_.clear();
+  o.scores_.clear();
+  o.offsets_view_ = {};
+  o.active_end_view_ = {};
+  o.ids_view_ = {};
+  o.scores_view_ = {};
+  return *this;
+}
+
+DissimilarityIndex DissimilarityIndex::BorrowedView(
+    VertexId n, std::span<const uint64_t> offsets,
+    std::span<const uint64_t> active_end, std::span<const VertexId> ids,
+    std::span<const double> scores, uint64_t num_pairs,
+    uint64_t num_reserve_pairs, bool scored,
+    std::shared_ptr<const BitsetArena> arena) {
+  DissimilarityIndex index;
+  index.n_ = n;
+  index.num_pairs_ = num_pairs;
+  index.num_reserve_pairs_ = num_reserve_pairs;
+  index.annotated_empty_ = scored && ids.empty();
+  index.borrowed_ = true;
+  index.offsets_view_ = offsets;
+  index.active_end_view_ = active_end;
+  index.ids_view_ = ids;
+  index.scores_view_ = scores;
+  index.arena_ = std::move(arena);
+  return index;
+}
+
+DissimilarityIndex::BitsetArena DissimilarityIndex::ComputeBitsets(
+    const DissimilarityIndex& index, uint32_t bitset_min_degree) {
+  // A bitset row costs n/8 bytes and the CSR row 4*degree bytes, so
+  // degree * 64 >= n keeps the bitset within ~2x of the row's CSR bytes.
+  // Keyed on the *active* degree: the bitset answers Dissimilar() at the
+  // serving threshold, so reserve entries are excluded and an annotated
+  // index probes identically to an unannotated one at the same threshold.
+  const VertexId n = index.num_vertices();
+  auto is_hot = [&](VertexId u) {
+    const uint32_t deg = index.degree(u);
+    return deg >= bitset_min_degree && static_cast<uint64_t>(deg) * 64 >= n;
+  };
+  BitsetArena arena;
+  VertexId hot = 0;
+  for (VertexId u = 0; u < n; ++u) {
+    if (is_hot(u)) ++hot;
+  }
+  if (hot == 0) return arena;
+  arena.words_per_row = (n + 63) / 64;
+  arena.rows = hot;
+  arena.slot.assign(n, kNoBitset);
+  arena.bits.assign(static_cast<uint64_t>(hot) * arena.words_per_row, 0);
+  uint32_t slot = 0;
+  for (VertexId u = 0; u < n; ++u) {
+    if (!is_hot(u)) continue;
+    arena.slot[u] = slot;
+    uint64_t base = static_cast<uint64_t>(slot) * arena.words_per_row;
+    for (VertexId v : index[u]) {
+      arena.bits[base + (v >> 6)] |= 1ull << (v & 63);
+    }
+    ++slot;
+  }
+  return arena;
+}
+
 bool DissimilarityIndex::Dissimilar(VertexId u, VertexId v) const {
   KRCORE_DCHECK(u < n_ && v < n_);
   if (u == v) return false;
-  uint32_t su = bitset_slot_.empty() ? kNoBitset : bitset_slot_[u];
+  const bool have_bitsets = arena_ != nullptr && !arena_->slot.empty();
+  uint32_t su = have_bitsets ? arena_->slot[u] : kNoBitset;
   if (su != kNoBitset) return TestBit(su, v);
-  uint32_t sv = bitset_slot_.empty() ? kNoBitset : bitset_slot_[v];
+  uint32_t sv = have_bitsets ? arena_->slot[v] : kNoBitset;
   if (sv != kNoBitset) return TestBit(sv, u);
   // Both rows cold: binary search the shorter active segment.
   if (degree(v) < degree(u)) std::swap(u, v);
@@ -108,7 +229,7 @@ uint64_t DissimilarityIndex::AppendRestrictedPairs(
 bool DissimilarityIndex::LookupScore(VertexId u, VertexId v,
                                      double* score) const {
   KRCORE_DCHECK(u < n_ && v < n_);
-  if (scores_.empty()) return false;
+  if (scores_view_.empty()) return false;
   const auto probe = [&](std::span<const VertexId> seg,
                          std::span<const double> seg_scores) {
     auto it = std::lower_bound(seg.begin(), seg.end(), v);
@@ -121,11 +242,11 @@ bool DissimilarityIndex::LookupScore(VertexId u, VertexId v,
 }
 
 uint64_t DissimilarityIndex::MemoryBytes() const {
-  return offsets_.size() * sizeof(uint64_t) +
-         active_end_.size() * sizeof(uint64_t) +
-         ids_.size() * sizeof(VertexId) + scores_.size() * sizeof(double) +
-         bitset_slot_.size() * sizeof(uint32_t) +
-         bits_.size() * sizeof(uint64_t);
+  return offsets_view_.size() * sizeof(uint64_t) +
+         active_end_view_.size() * sizeof(uint64_t) +
+         ids_view_.size() * sizeof(VertexId) +
+         scores_view_.size() * sizeof(double) +
+         (arena_ ? arena_->MemoryBytes() : 0);
 }
 
 DissimilarityIndex::Builder::Builder(VertexId num_vertices)
@@ -257,37 +378,11 @@ DissimilarityIndex DissimilarityIndex::Builder::Build(
                   index.ids_.begin() + index.offsets_[u + 1])
         << "duplicate reserve pair involving vertex " << u;
   }
+  index.RebindOwned();
 
-  // Hybrid bitsets for hot rows, keyed on the *active* degree: the bitset
-  // answers Dissimilar() at the serving threshold, so reserve entries are
-  // excluded and an annotated index probes identically to an unannotated
-  // one built at the same threshold.
-  // A bitset row costs n/8 bytes and the CSR row 4*degree bytes, so
-  // degree * 64 >= n keeps the bitset within ~2x of the row's CSR bytes.
-  auto is_hot = [&](VertexId u) {
-    return active_counts_[u] >= bitset_min_degree &&
-           static_cast<uint64_t>(active_counts_[u]) * 64 >= n_;
-  };
-  VertexId hot = 0;
-  for (VertexId u = 0; u < n_; ++u) {
-    if (is_hot(u)) ++hot;
-  }
-  if (hot > 0) {
-    index.words_per_row_ = (n_ + 63) / 64;
-    index.bitset_rows_ = hot;
-    index.bitset_slot_.assign(n_, kNoBitset);
-    index.bits_.assign(
-        static_cast<uint64_t>(hot) * index.words_per_row_, 0);
-    uint32_t slot = 0;
-    for (VertexId u = 0; u < n_; ++u) {
-      if (!is_hot(u)) continue;
-      index.bitset_slot_[u] = slot;
-      uint64_t base = static_cast<uint64_t>(slot) * index.words_per_row_;
-      for (VertexId v : index[u]) {
-        index.bits_[base + (v >> 6)] |= 1ull << (v & 63);
-      }
-      ++slot;
-    }
+  BitsetArena arena = ComputeBitsets(index, bitset_min_degree);
+  if (arena.rows > 0) {
+    index.arena_ = std::make_shared<const BitsetArena>(std::move(arena));
   }
   return index;
 }

@@ -2,7 +2,9 @@
 #define KRCORE_CORE_DISSIMILARITY_INDEX_H_
 
 #include <cstdint>
+#include <memory>
 #include <span>
+#include <utility>
 #include <vector>
 
 #include "graph/graph.h"
@@ -47,13 +49,62 @@ namespace krcore {
 ///    threshold, silently breaking the derived == cold invariant the whole
 ///    reuse layer is contracted on.
 ///
+/// Storage is owned-or-borrowed, like Graph: Builder::Build produces an
+/// owning index (vectors), while BorrowedView wraps externally-owned CSR
+/// arrays — the spans an mmapped snapshot hands out, whose lifetime the
+/// holder of the mapping (PreparedWorkspace::backing) carries. The hybrid
+/// bitsets live in a shared BitsetArena behind a shared_ptr so that copies
+/// of a lazily-validated borrowed index all observe the arena the one
+/// first-touch validation pass fills in.
+///
 /// Instances are immutable once built; all reads are const and thread-safe.
 class DissimilarityIndex {
  public:
   /// Default absolute degree floor below which a row never gets a bitset.
   static constexpr uint32_t kDefaultBitsetMinDegree = 64;
 
+  /// The hybrid-bitset acceleration structure: one packed bitmap row per
+  /// hot vertex, shared (behind shared_ptr) by every copy of an index.
+  /// Built deterministically from the active CSR rows by ComputeBitsets —
+  /// either at Build() time (owned indexes) or during a borrowed index's
+  /// first-touch validation.
+  struct BitsetArena {
+    std::vector<uint32_t> slot;  // n entries; kNoBitset for cold rows
+    std::vector<uint64_t> bits;  // rows * words_per_row packed words
+    VertexId words_per_row = 0;
+    VertexId rows = 0;
+
+    uint64_t MemoryBytes() const {
+      return slot.size() * sizeof(uint32_t) + bits.size() * sizeof(uint64_t);
+    }
+  };
+
   DissimilarityIndex() = default;
+
+  DissimilarityIndex(const DissimilarityIndex& o) { *this = o; }
+  DissimilarityIndex& operator=(const DissimilarityIndex& o);
+  DissimilarityIndex(DissimilarityIndex&& o) noexcept {
+    *this = std::move(o);
+  }
+  DissimilarityIndex& operator=(DissimilarityIndex&& o) noexcept;
+
+  /// Borrows externally-owned CSR arrays without copying or validating (the
+  /// snapshot layer validates on first touch). `arena` may start empty and
+  /// be filled in place by that validation pass — the call_once guarding it
+  /// gives every copy a happens-before on the fill.
+  static DissimilarityIndex BorrowedView(
+      VertexId n, std::span<const uint64_t> offsets,
+      std::span<const uint64_t> active_end, std::span<const VertexId> ids,
+      std::span<const double> scores, uint64_t num_pairs,
+      uint64_t num_reserve_pairs, bool scored,
+      std::shared_ptr<const BitsetArena> arena);
+
+  /// Builds the hybrid-bitset arena for `index`'s active rows: a row is hot
+  /// when its active degree is >= bitset_min_degree and degree * 64 >= n.
+  /// Deterministic in the index contents, so a snapshot round-trip rebuilds
+  /// byte-identical bitsets.
+  static BitsetArena ComputeBitsets(const DissimilarityIndex& index,
+                                    uint32_t bitset_min_degree);
 
   VertexId num_vertices() const { return n_; }
   /// Number of unordered dissimilar pairs at the serving threshold (DP of
@@ -64,7 +115,7 @@ class DissimilarityIndex {
 
   /// True when rows carry the parallel score annotation (and possibly
   /// reserve segments) a threshold-restriction needs.
-  bool has_scores() const { return !scores_.empty() || annotated_empty_; }
+  bool has_scores() const { return !scores_view_.empty() || annotated_empty_; }
   /// Number of unordered reserve pairs (similar at the serving threshold,
   /// dissimilar at the builder's cover threshold).
   uint64_t num_reserve_pairs() const { return num_reserve_pairs_; }
@@ -72,33 +123,37 @@ class DissimilarityIndex {
   /// Dissimilar degree at the serving threshold (active entries only).
   uint32_t degree(VertexId u) const {
     KRCORE_DCHECK(u < n_);
-    return static_cast<uint32_t>(active_end_[u] - offsets_[u]);
+    return static_cast<uint32_t>(active_end_view_[u] - offsets_view_[u]);
   }
 
   /// Sorted dissimilar row of u (active segment only — what mining sees).
   std::span<const VertexId> operator[](VertexId u) const {
     KRCORE_DCHECK(u < n_);
-    return {ids_.data() + offsets_[u], ids_.data() + active_end_[u]};
+    return {ids_view_.data() + offsets_view_[u],
+            ids_view_.data() + active_end_view_[u]};
   }
   std::span<const VertexId> row(VertexId u) const { return (*this)[u]; }
 
   /// Scores parallel to row(u). Empty spans when !has_scores().
   std::span<const double> row_scores(VertexId u) const {
     KRCORE_DCHECK(u < n_);
-    if (scores_.empty()) return {};
-    return {scores_.data() + offsets_[u], scores_.data() + active_end_[u]};
+    if (scores_view_.empty()) return {};
+    return {scores_view_.data() + offsets_view_[u],
+            scores_view_.data() + active_end_view_[u]};
   }
 
   /// Sorted reserve row of u: partners similar at the serving threshold but
   /// dissimilar at the cover threshold, with scores parallel.
   std::span<const VertexId> reserve_row(VertexId u) const {
     KRCORE_DCHECK(u < n_);
-    return {ids_.data() + active_end_[u], ids_.data() + offsets_[u + 1]};
+    return {ids_view_.data() + active_end_view_[u],
+            ids_view_.data() + offsets_view_[u + 1]};
   }
   std::span<const double> reserve_scores(VertexId u) const {
     KRCORE_DCHECK(u < n_);
-    if (scores_.empty()) return {};
-    return {scores_.data() + active_end_[u], scores_.data() + offsets_[u + 1]};
+    if (scores_view_.empty()) return {};
+    return {scores_view_.data() + active_end_view_[u],
+            scores_view_.data() + offsets_view_[u + 1]};
   }
 
   /// True iff {u, v} is a dissimilar pair at the serving threshold. O(1)
@@ -107,12 +162,21 @@ class DissimilarityIndex {
   bool Dissimilar(VertexId u, VertexId v) const;
 
   /// Number of rows backed by a bitset.
-  VertexId bitset_rows() const { return bitset_rows_; }
+  VertexId bitset_rows() const { return arena_ ? arena_->rows : 0; }
 
   /// Bytes held by the CSR arrays, the score annotation and the bitset
   /// arena (excludes the object header; used for the PreprocessReport
-  /// memory accounting).
+  /// memory accounting). Borrowed views count their mapped bytes.
   uint64_t MemoryBytes() const;
+
+  /// Raw CSR arrays (the snapshot writer's zero-transform serialization).
+  std::span<const uint64_t> offsets_array() const { return offsets_view_; }
+  std::span<const uint64_t> active_end_array() const {
+    return active_end_view_;
+  }
+  std::span<const VertexId> ids_array() const { return ids_view_; }
+  std::span<const double> scores_array() const { return scores_view_; }
+  bool borrowed() const { return borrowed_; }
 
   /// Accumulates pairs (both directions are derived from one AddPair call)
   /// and freezes them into an index. Designed for streaming producers: the
@@ -210,13 +274,21 @@ class DissimilarityIndex {
   /// the bulk derivation paths iterate the segments directly instead.
   bool LookupScore(VertexId u, VertexId v, double* score) const;
 
- private:
   static constexpr uint32_t kNoBitset = static_cast<uint32_t>(-1);
 
+ private:
   bool TestBit(uint32_t slot, VertexId v) const {
-    return (bits_[static_cast<uint64_t>(slot) * words_per_row_ + (v >> 6)] >>
+    return (arena_->bits[static_cast<uint64_t>(slot) * arena_->words_per_row +
+                         (v >> 6)] >>
             (v & 63)) &
            1;
+  }
+
+  void RebindOwned() {
+    offsets_view_ = offsets_;
+    active_end_view_ = active_end_;
+    ids_view_ = ids_;
+    scores_view_ = scores_;
   }
 
   VertexId n_ = 0;
@@ -226,19 +298,24 @@ class DissimilarityIndex {
   /// an empty scored index still advertises has_scores() so derivation
   /// accepts it.
   bool annotated_empty_ = false;
+  bool borrowed_ = false;
+
+  // Owned backing (empty for borrowed views).
   std::vector<uint64_t> offsets_;     // n+1, full rows (active + reserve)
   std::vector<uint64_t> active_end_;  // n, end of each active segment
   std::vector<VertexId> ids_;         // contiguous rows, segments sorted
   std::vector<double> scores_;        // parallel to ids_ when annotated
 
-  // Hybrid part: slot index per vertex (kNoBitset for cold rows) into a
-  // single arena of bitset_rows_ * words_per_row_ words. Built from active
-  // segments only, so probes agree with Dissimilar()'s serve-threshold
-  // semantics.
-  std::vector<uint32_t> bitset_slot_;
-  std::vector<uint64_t> bits_;
-  VertexId words_per_row_ = 0;
-  VertexId bitset_rows_ = 0;
+  // The uniform read surface: over the owned vectors, or over mapped bytes.
+  std::span<const uint64_t> offsets_view_;
+  std::span<const uint64_t> active_end_view_;
+  std::span<const VertexId> ids_view_;
+  std::span<const double> scores_view_;
+
+  // Hybrid part, shared by every copy of this index. Null means no bitsets
+  // (or a borrowed view whose lazy validation has not filled the arena yet
+  // — mining never probes before EnsureValid).
+  std::shared_ptr<const BitsetArena> arena_;
 };
 
 }  // namespace krcore

@@ -313,6 +313,14 @@ MaximalCoresResult EnumerateMaximalCores(
 
   if (threads <= 1) {
     for (auto& job : jobs) {
+      // First-touch validation gate for mmap-served components: the
+      // enumerator's constructor already walks rows, so the verdict must
+      // land before it exists. A corrupt component fails only the queries
+      // that touch it.
+      if (Status s = job->comp.EnsureValid(); !s.ok()) {
+        job->Finish(MiningStats(), s, TaskPath{}, ResultSet());
+        break;
+      }
       ComponentEnumerator root(job);
       root.RunRoot();
       if (!job->status.ok()) break;
@@ -325,6 +333,10 @@ MaximalCoresResult EnumerateMaximalCores(
       job->pool = &pool;
       pool.Submit([job, &failed] {
         if (failed.load(std::memory_order_relaxed)) return;
+        if (Status s = job->comp.EnsureValid(); !s.ok()) {
+          job->Finish(MiningStats(), s, TaskPath{}, ResultSet());
+          return;
+        }
         ComponentEnumerator root(job);
         root.RunRoot();
       });

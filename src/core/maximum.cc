@@ -363,9 +363,13 @@ MaximumCoreResult FindMaximumCore(
         densest = i;
       }
     }
-    VertexSet seed =
-        GreedySeedCore(components[densest], options.k, options.deadline);
-    if (!seed.empty()) best.Offer(std::move(seed));
+    // The greedy seeder reads rows; a corrupt mapped component simply
+    // forfeits the seed here — its own job below reports the error.
+    if (components[densest].EnsureValid().ok()) {
+      VertexSet seed =
+          GreedySeedCore(components[densest], options.k, options.deadline);
+      if (!seed.empty()) best.Offer(std::move(seed));
+    }
   }
 
   std::atomic<bool> failed{false};
@@ -380,6 +384,12 @@ MaximumCoreResult FindMaximumCore(
       // A whole component can be skipped when even its total size cannot
       // beat the incumbent.
       if (job->comp.size() <= best.Size()) continue;
+      // First-touch validation gate (mmap-served components) — must land
+      // before the maximizer's constructor walks rows.
+      if (Status s = job->comp.EnsureValid(); !s.ok()) {
+        job->Finish(MiningStats(), s);
+        break;
+      }
       ComponentMaximizer root(job);
       root.RunRoot();
       if (!job->status.ok()) break;
@@ -394,6 +404,10 @@ MaximumCoreResult FindMaximumCore(
       pool.Submit([job, &best, &failed] {
         if (failed.load(std::memory_order_relaxed)) return;
         if (job->comp.size() <= best.Size()) return;
+        if (Status s = job->comp.EnsureValid(); !s.ok()) {
+          job->Finish(MiningStats(), s);
+          return;
+        }
         ComponentMaximizer root(job);
         root.RunRoot();
       });

@@ -252,11 +252,12 @@ void DeriveComponent(const ComponentContext& base, const Graph& structure,
                      uint64_t* score_tests, ComponentContext* out) {
   auto induced = BuildInducedSubgraph(structure, keep);
   out->graph = std::move(induced.graph);
-  out->to_parent.resize(keep.size());
+  std::vector<VertexId> to_parent(keep.size());
   for (size_t i = 0; i < keep.size(); ++i) {
-    out->to_parent[i] = base.to_parent[induced.to_parent[i]];
+    to_parent[i] = base.to_parent[induced.to_parent[i]];
     (*remap)[induced.to_parent[i]] = static_cast<VertexId>(i);
   }
+  out->to_parent = std::move(to_parent);
   DissimilarityIndex::Builder builder(static_cast<VertexId>(keep.size()));
   if (restrict_r) {
     base.dissimilar.AppendRestrictedPairs(induced.to_parent, *remap, r,
@@ -341,6 +342,12 @@ Status DeriveWorkspace(const PreparedWorkspace& base, uint32_t k, double r,
       out->components.clear();
       return Status::DeadlineExceeded(
           "budget expired while deriving the k-core workspace");
+    }
+    // Derivation reads the base's borrowed rows directly, so an mmap-lazy
+    // base component must pass its first-touch validation here.
+    if (Status s = comp.EnsureValid(); !s.ok()) {
+      out->components.clear();
+      return s;
     }
     const Graph* structure = &comp.graph;
     Graph filtered;

@@ -2,7 +2,10 @@
 #define KRCORE_CORE_PIPELINE_H_
 
 #include <cmath>
+#include <functional>
 #include <limits>
+#include <memory>
+#include <mutex>
 #include <vector>
 
 #include "core/dissimilarity_index.h"
@@ -11,9 +14,27 @@
 #include "graph/graph.h"
 #include "similarity/join/self_join.h"
 #include "similarity/similarity_oracle.h"
+#include "util/array_ref.h"
 #include "util/status.h"
 
 namespace krcore {
+
+/// Deferred integrity state of one mmap-served component: the snapshot v4
+/// loader installs a validation closure (blob checksum + the full
+/// structural invariant battery) to be run at most once, on first touch,
+/// under the once_flag. Copies of the component share this object, so one
+/// validation pass settles the component for every view of it. A null
+/// LazyComponentValidation pointer on a component means "already valid"
+/// (owned builds and eager loads).
+struct LazyComponentValidation {
+  std::once_flag once;
+  /// The verdict, written exactly once under `once`.
+  Status status;
+  /// Self-contained check capturing the mapped spans and the shared bitset
+  /// arena to fill — deliberately no pointer back to any component
+  /// instance, so copies stay coherent. Cleared after the run.
+  std::function<Status()> validate;
+};
 
 /// A connected component produced by the Algorithm 1 preprocessing
 /// (dissimilar-edge removal -> k-core -> connected components), re-indexed
@@ -27,18 +48,38 @@ struct ComponentContext {
   /// Induced structure graph over local ids (every edge already similar).
   Graph graph;
   /// Local id -> original graph id.
-  std::vector<VertexId> to_parent;
+  ArrayRef<VertexId> to_parent;
   /// Flat CSR (+ hot-row bitset) dissimilarity substrate: dissimilar[u] is
   /// the sorted local ids v with sim(u,v) violating r. This is the
   /// complement of the component's similarity graph; all engine-side
   /// similarity tests run on it (the oracle is not consulted again).
   DissimilarityIndex dissimilar;
+  /// First-touch validation for mmap-served components; null when the
+  /// component was built in memory or eagerly validated.
+  std::shared_ptr<LazyComponentValidation> lazy;
 
   VertexId size() const { return graph.num_vertices(); }
   /// Total number of dissimilar pairs in the component (DP of Sec 7.1).
   uint64_t num_dissimilar_pairs() const { return dissimilar.num_pairs(); }
   bool Dissimilar(VertexId u, VertexId v) const {
     return dissimilar.Dissimilar(u, v);
+  }
+
+  /// Runs the deferred integrity checks (at most once across all copies of
+  /// this component) and returns the verdict; instant OK for components
+  /// with nothing deferred. Every consumer that reads rows — mining roots,
+  /// derivation, the updater, the snapshot writer — calls this first, so
+  /// corruption in a mapped file fails exactly the queries that touch the
+  /// corrupt component, as the same clean Status errors an eager load
+  /// reports.
+  Status EnsureValid() const {
+    if (!lazy) return Status::OK();
+    LazyComponentValidation* l = lazy.get();
+    std::call_once(l->once, [l] {
+      l->status = l->validate();
+      l->validate = nullptr;
+    });
+    return l->status;
   }
 };
 
@@ -119,6 +160,12 @@ Status PrepareComponents(const Graph& g, const SimilarityOracle& oracle,
 /// threshold. Any (k' >= k, r' between threshold and score_cover) is then
 /// derived with zero oracle calls: score-filter the structure edges and
 /// cached rows at r', re-peel the k'-core.
+/// Owner of an open snapshot file's bytes (mmap or aligned heap fallback);
+/// defined in snapshot/mapped_file.h. PreparedWorkspace holds it as an
+/// opaque lifetime anchor so borrowed component views stay valid for as
+/// long as the workspace (or any copy of it) lives.
+class SnapshotMapping;
+
 struct PreparedWorkspace {
   /// The k the components were extracted at (queries need k' >= k).
   uint32_t k = 0;
@@ -145,11 +192,23 @@ struct PreparedWorkspace {
   /// version of their base.
   uint64_t version = 0;
   std::vector<ComponentContext> components;
+  /// Lifetime anchor for mmap-backed components (null for in-memory
+  /// builds): the components' spans point into this mapping's bytes.
+  std::shared_ptr<const SnapshotMapping> backing;
 
   VertexId num_vertices() const {
     VertexId n = 0;
     for (const auto& c : components) n += c.size();
     return n;
+  }
+
+  /// Forces every component's deferred validation now (a lazy load's way
+  /// of opting back into eager integrity semantics); first failure wins.
+  Status EnsureAllValid() const {
+    for (const auto& c : components) {
+      if (Status s = c.EnsureValid(); !s.ok()) return s;
+    }
+    return Status::OK();
   }
 
   /// True iff a (query_k, query_r) cell can be served from this workspace:

@@ -553,6 +553,12 @@ Status WorkspaceUpdater::ApplyEdgeUpdates(std::span<const EdgeUpdate> updates,
         std::vector<VertexId> old_rows;
         for (size_t gi = 0; gi < old_comps.size(); ++gi) {
           const ComponentContext& old_ctx = ws_->components[old_comps[gi]];
+          // Cached rows of an mmap-served component must pass first-touch
+          // validation before they are trusted; a corrupt source rolls the
+          // batch back like any other mid-batch failure.
+          if (Status st = old_ctx.EnsureValid(); !st.ok()) {
+            return FailInComponent(std::move(st));
+          }
           old_rows.clear();
           for (VertexId i : groups[old_comp_group[gi]]) {
             auto it = std::lower_bound(old_ctx.to_parent.begin(),

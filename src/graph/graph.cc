@@ -6,6 +6,8 @@ namespace krcore {
 
 Graph::Graph(std::vector<EdgeId> offsets, std::vector<VertexId> neighbors)
     : offsets_(std::move(offsets)), neighbors_(std::move(neighbors)) {
+  offsets_view_ = offsets_;
+  neighbors_view_ = neighbors_;
   KRCORE_CHECK(!offsets_.empty());
   KRCORE_CHECK(offsets_.back() == neighbors_.size());
   for (VertexId u = 0; u < num_vertices(); ++u) {

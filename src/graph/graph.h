@@ -3,6 +3,7 @@
 
 #include <cstdint>
 #include <span>
+#include <utility>
 #include <vector>
 
 #include "util/logging.h"
@@ -20,6 +21,13 @@ inline constexpr VertexId kInvalidVertex = static_cast<VertexId>(-1);
 /// Each undirected edge {u, v} is stored twice (once in each adjacency list),
 /// and adjacency lists are sorted ascending, enabling O(log d) membership
 /// probes and linear-time neighborhood merges. Construct via GraphBuilder.
+///
+/// Storage is owned-or-borrowed: the owning constructor takes vectors (the
+/// GraphBuilder path), while BorrowedView wraps externally-owned CSR arrays
+/// — the zero-copy spans an mmapped snapshot hands out. A borrowed Graph
+/// does not extend its backing's lifetime (PreparedWorkspace::backing
+/// does); borrowed views skip construction-time validation, which the
+/// snapshot layer's first-touch validation performs instead.
 class Graph {
  public:
   Graph() = default;
@@ -28,23 +36,76 @@ class Graph {
   /// neighbors.size() == offsets.back() == 2 * num_edges.
   Graph(std::vector<EdgeId> offsets, std::vector<VertexId> neighbors);
 
+  /// Borrows externally-owned CSR arrays without copying or validating;
+  /// `max_degree` must be the true maximum row degree (the snapshot layer
+  /// re-verifies it on first touch).
+  static Graph BorrowedView(std::span<const EdgeId> offsets,
+                            std::span<const VertexId> neighbors,
+                            uint32_t max_degree) {
+    Graph g;
+    g.offsets_view_ = offsets;
+    g.neighbors_view_ = neighbors;
+    g.max_degree_ = max_degree;
+    g.borrowed_ = true;
+    return g;
+  }
+
+  Graph(const Graph& o) { *this = o; }
+  Graph& operator=(const Graph& o) {
+    if (this == &o) return *this;
+    borrowed_ = o.borrowed_;
+    max_degree_ = o.max_degree_;
+    if (o.borrowed_) {
+      offsets_.clear();
+      neighbors_.clear();
+      offsets_view_ = o.offsets_view_;
+      neighbors_view_ = o.neighbors_view_;
+    } else {
+      offsets_ = o.offsets_;
+      neighbors_ = o.neighbors_;
+      offsets_view_ = offsets_;
+      neighbors_view_ = neighbors_;
+    }
+    return *this;
+  }
+  Graph(Graph&& o) noexcept { *this = std::move(o); }
+  Graph& operator=(Graph&& o) noexcept {
+    if (this == &o) return *this;
+    borrowed_ = o.borrowed_;
+    max_degree_ = o.max_degree_;
+    offsets_ = std::move(o.offsets_);
+    neighbors_ = std::move(o.neighbors_);
+    offsets_view_ = borrowed_ ? o.offsets_view_ : std::span<const EdgeId>(offsets_);
+    neighbors_view_ =
+        borrowed_ ? o.neighbors_view_ : std::span<const VertexId>(neighbors_);
+    o.offsets_.clear();
+    o.neighbors_.clear();
+    o.offsets_view_ = {};
+    o.neighbors_view_ = {};
+    o.borrowed_ = false;
+    o.max_degree_ = 0;
+    return *this;
+  }
+
   VertexId num_vertices() const {
-    return offsets_.empty() ? 0 : static_cast<VertexId>(offsets_.size() - 1);
+    return offsets_view_.empty()
+               ? 0
+               : static_cast<VertexId>(offsets_view_.size() - 1);
   }
 
   /// Number of undirected edges.
-  EdgeId num_edges() const { return neighbors_.size() / 2; }
+  EdgeId num_edges() const { return neighbors_view_.size() / 2; }
 
   uint32_t degree(VertexId u) const {
     KRCORE_DCHECK(u < num_vertices());
-    return static_cast<uint32_t>(offsets_[u + 1] - offsets_[u]);
+    return static_cast<uint32_t>(offsets_view_[u + 1] - offsets_view_[u]);
   }
 
   /// Sorted neighbor list of u.
   std::span<const VertexId> neighbors(VertexId u) const {
     KRCORE_DCHECK(u < num_vertices());
-    return {neighbors_.data() + offsets_[u],
-            neighbors_.data() + offsets_[u + 1]};
+    return {neighbors_view_.data() + offsets_view_[u],
+            neighbors_view_.data() + offsets_view_[u + 1]};
   }
 
   /// True iff {u,v} is an edge. O(log deg(u)).
@@ -57,9 +118,17 @@ class Graph {
                : 2.0 * static_cast<double>(num_edges()) / num_vertices();
   }
 
+  /// Raw CSR arrays (the snapshot writer's zero-transform serialization).
+  std::span<const EdgeId> offsets() const { return offsets_view_; }
+  std::span<const VertexId> neighbor_array() const { return neighbors_view_; }
+  bool borrowed() const { return borrowed_; }
+
  private:
   std::vector<EdgeId> offsets_;
   std::vector<VertexId> neighbors_;
+  std::span<const EdgeId> offsets_view_;
+  std::span<const VertexId> neighbors_view_;
+  bool borrowed_ = false;
   uint32_t max_degree_ = 0;
 };
 

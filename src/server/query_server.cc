@@ -57,7 +57,21 @@ std::string ServerStatsSnapshot::ToJson() const {
   AppendStage(&out, "derive", derive);
   out += ",";
   AppendStage(&out, "mine", mine);
-  out += "}";
+  out += ",\"workspaces\":[";
+  bool first = true;
+  for (const auto& w : workspaces) {
+    if (!first) out += ',';
+    first = false;
+    out += "{\"name\":\"" + JsonEscape(w.name) + "\"";
+    out += ",\"snapshot_version\":" + std::to_string(w.snapshot_version);
+    out += ",\"load_seconds\":" + JsonDouble(w.load_seconds);
+    out += ",\"lazy\":";
+    out += w.lazy_loaded ? "true" : "false";
+    out += ",\"mapped\":";
+    out += w.mapped ? "true" : "false";
+    out += "}";
+  }
+  out += "]}";
   return out;
 }
 
@@ -471,8 +485,14 @@ void QueryServer::Respond(const std::shared_ptr<Job>& job,
 }
 
 ServerStatsSnapshot QueryServer::Stats() const {
-  std::lock_guard<std::mutex> lock(mu_);
-  return stats_;
+  ServerStatsSnapshot snapshot;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    snapshot = stats_;
+  }
+  // Registry listing outside mu_ — it takes the registry's own lock.
+  snapshot.workspaces = registry_->List();
+  return snapshot;
 }
 
 }  // namespace krcore

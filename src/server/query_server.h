@@ -70,6 +70,9 @@ struct ServerStatsSnapshot {
   uint64_t queue_depth = 0;         // jobs in flight right now
   ServerStageStats derive;
   ServerStageStats mine;
+  /// Registry contents at snapshot time: serving identity plus load
+  /// observability (snapshot version, load seconds, lazy/mmap mode).
+  std::vector<WorkspaceRegistry::Entry> workspaces;
 
   /// The JSON stats dump (one object, stable key order), served by the
   /// transport's `stats` command and krcore_server --stats.

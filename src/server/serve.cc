@@ -43,6 +43,12 @@ std::string RegistryListJson(const WorkspaceRegistry& registry) {
     out += ",\"version\":" + std::to_string(e.version);
     out += ",\"components\":" + std::to_string(e.num_components);
     out += ",\"vertices\":" + std::to_string(e.num_vertices);
+    out += ",\"snapshot_version\":" + std::to_string(e.snapshot_version);
+    out += ",\"load_seconds\":" + JsonDouble(e.load_seconds);
+    out += ",\"lazy\":";
+    out += e.lazy_loaded ? "true" : "false";
+    out += ",\"mapped\":";
+    out += e.mapped ? "true" : "false";
     out += "}";
   }
   out += "]";

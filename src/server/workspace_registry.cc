@@ -3,27 +3,33 @@
 #include <utility>
 
 #include "snapshot/workspace_snapshot.h"
+#include "util/timer.h"
 
 namespace krcore {
 
-Status WorkspaceRegistry::Add(const std::string& name, PreparedWorkspace ws) {
+Status WorkspaceRegistry::AddLocked(const std::string& name, Registered reg) {
   if (name.empty()) {
     return Status::InvalidArgument("workspace name must not be empty");
   }
-  if (ws.k == 0) {
+  if (reg.ws->k == 0) {
     return Status::InvalidArgument("workspace '" + name +
                                    "' is empty (k == 0); register only "
                                    "PrepareWorkspace/snapshot output");
   }
   std::lock_guard<std::mutex> lock(mu_);
-  auto [it, inserted] = entries_.emplace(
-      name, std::make_shared<const PreparedWorkspace>(std::move(ws)));
+  auto [it, inserted] = entries_.emplace(name, std::move(reg));
   (void)it;
   if (!inserted) {
     return Status::InvalidArgument("workspace '" + name +
                                    "' is already registered");
   }
   return Status::OK();
+}
+
+Status WorkspaceRegistry::Add(const std::string& name, PreparedWorkspace ws) {
+  Registered reg;
+  reg.ws = std::make_shared<const PreparedWorkspace>(std::move(ws));
+  return AddLocked(name, std::move(reg));
 }
 
 Status WorkspaceRegistry::Replace(const std::string& name,
@@ -35,17 +41,30 @@ Status WorkspaceRegistry::Replace(const std::string& name,
     return Status::InvalidArgument("workspace '" + name +
                                    "' is empty (k == 0)");
   }
+  Registered reg;
+  reg.ws = std::make_shared<const PreparedWorkspace>(std::move(ws));
   std::lock_guard<std::mutex> lock(mu_);
-  entries_[name] = std::make_shared<const PreparedWorkspace>(std::move(ws));
+  entries_[name] = std::move(reg);
   return Status::OK();
 }
 
 Status WorkspaceRegistry::AddFromSnapshot(const std::string& name,
-                                          const std::string& path) {
+                                          const std::string& path,
+                                          SnapshotLoadMode mode) {
   PreparedWorkspace ws;
-  Status s = LoadWorkspaceSnapshot(path, &ws);
+  SnapshotLoadOptions options;
+  options.lazy = mode == SnapshotLoadMode::kLazy;
+  SnapshotLoadInfo info;
+  Timer timer;
+  Status s = LoadWorkspaceSnapshot(path, options, &ws, &info);
   if (!s.ok()) return s;
-  return Add(name, std::move(ws));
+  Registered reg;
+  reg.ws = std::make_shared<const PreparedWorkspace>(std::move(ws));
+  reg.snapshot_version = info.format_version;
+  reg.load_seconds = timer.ElapsedSeconds();
+  reg.lazy_loaded = info.lazy;
+  reg.mapped = info.mapped;
+  return AddLocked(name, std::move(reg));
 }
 
 Status WorkspaceRegistry::Alias(const std::string& alias,
@@ -79,7 +98,7 @@ std::shared_ptr<const PreparedWorkspace> WorkspaceRegistry::Find(
     const std::string& name) const {
   std::lock_guard<std::mutex> lock(mu_);
   auto it = entries_.find(name);
-  return it == entries_.end() ? nullptr : it->second;
+  return it == entries_.end() ? nullptr : it->second.ws;
 }
 
 Status WorkspaceRegistry::Resolve(
@@ -111,17 +130,22 @@ std::vector<WorkspaceRegistry::Entry> WorkspaceRegistry::List() const {
   std::lock_guard<std::mutex> lock(mu_);
   std::vector<Entry> out;
   out.reserve(entries_.size());
-  for (const auto& [name, ws] : entries_) {
+  for (const auto& [name, reg] : entries_) {
+    const PreparedWorkspace& ws = *reg.ws;
     Entry e;
     e.name = name;
-    e.k = ws->k;
-    e.threshold = ws->threshold;
-    e.score_cover = ws->score_cover;
-    e.scored = ws->scored;
-    e.is_distance = ws->is_distance;
-    e.version = ws->version;
-    e.num_components = ws->components.size();
-    e.num_vertices = ws->num_vertices();
+    e.k = ws.k;
+    e.threshold = ws.threshold;
+    e.score_cover = ws.score_cover;
+    e.scored = ws.scored;
+    e.is_distance = ws.is_distance;
+    e.version = ws.version;
+    e.num_components = ws.components.size();
+    e.num_vertices = ws.num_vertices();
+    e.snapshot_version = reg.snapshot_version;
+    e.load_seconds = reg.load_seconds;
+    e.lazy_loaded = reg.lazy_loaded;
+    e.mapped = reg.mapped;
     out.push_back(std::move(e));
   }
   return out;

@@ -21,7 +21,15 @@ namespace krcore {
 /// never invalidates a query that is already mining the old substrate.
 class WorkspaceRegistry {
  public:
-  /// One row of List(): the serving identity of a registered workspace.
+  /// How AddFromSnapshot materializes a v4 snapshot: kEager validates the
+  /// whole file before registering (v3 semantics); kLazy mmaps it and
+  /// defers per-component validation to first touch, making cold-start
+  /// O(components) instead of O(substrate). v1-v3 files always load
+  /// eagerly under either mode.
+  enum class SnapshotLoadMode { kEager, kLazy };
+
+  /// One row of List(): the serving identity of a registered workspace,
+  /// plus load observability (how the substrate got resident).
   struct Entry {
     std::string name;
     uint32_t k = 0;
@@ -32,6 +40,15 @@ class WorkspaceRegistry {
     uint64_t version = 0;
     size_t num_components = 0;
     uint64_t num_vertices = 0;
+    /// Snapshot format version the entry was loaded from; 0 when the
+    /// workspace was built in-process (Add/Replace).
+    uint32_t snapshot_version = 0;
+    /// Wall seconds AddFromSnapshot spent in LoadWorkspaceSnapshot.
+    double load_seconds = 0.0;
+    /// True when per-component validation was deferred to first touch.
+    bool lazy_loaded = false;
+    /// True when the workspace serves from an mmap.
+    bool mapped = false;
   };
 
   /// Registers `ws` under `name`. Rejects empty names, names already
@@ -45,9 +62,16 @@ class WorkspaceRegistry {
   /// admitted after the swap see the new one.
   Status Replace(const std::string& name, PreparedWorkspace ws);
 
-  /// LoadWorkspaceSnapshot(path) + Add. The snapshot layer re-validates
-  /// every structural invariant, so a corrupt file never registers.
-  Status AddFromSnapshot(const std::string& name, const std::string& path);
+  /// LoadWorkspaceSnapshot(path) + Add, recording the load time, snapshot
+  /// version and mapping mode on the entry. Eager loads re-validate every
+  /// structural invariant, so a corrupt file never registers; lazy loads
+  /// verify the file's meta/table skeleton up front and surface component
+  /// corruption as clean per-query errors on first touch.
+  Status AddFromSnapshot(const std::string& name, const std::string& path,
+                         SnapshotLoadMode mode);
+  Status AddFromSnapshot(const std::string& name, const std::string& path) {
+    return AddFromSnapshot(name, path, SnapshotLoadMode::kEager);
+  }
 
   /// Registers `alias` as a second name for the substrate currently under
   /// `existing` (no copy — both names share it). The krcore_server binary
@@ -75,8 +99,21 @@ class WorkspaceRegistry {
   size_t size() const;
 
  private:
+  /// A resident substrate plus how it got here. The load metadata is
+  /// immutable alongside the workspace; aliases share the substrate but
+  /// copy the metadata (they describe the same load).
+  struct Registered {
+    std::shared_ptr<const PreparedWorkspace> ws;
+    uint32_t snapshot_version = 0;
+    double load_seconds = 0.0;
+    bool lazy_loaded = false;
+    bool mapped = false;
+  };
+
+  Status AddLocked(const std::string& name, Registered reg);
+
   mutable std::mutex mu_;
-  std::map<std::string, std::shared_ptr<const PreparedWorkspace>> entries_;
+  std::map<std::string, Registered> entries_;
 };
 
 }  // namespace krcore

@@ -1,0 +1,117 @@
+#include "snapshot/mapped_file.h"
+
+#include <cstdio>
+#include <new>
+
+#include "util/failpoint.h"
+
+#if defined(__unix__) || defined(__APPLE__)
+#define KRCORE_HAVE_MMAP 1
+#include <fcntl.h>
+#include <sys/mman.h>
+#include <sys/stat.h>
+#include <unistd.h>
+#else
+#define KRCORE_HAVE_MMAP 0
+#endif
+
+namespace krcore {
+
+void SnapshotMapping::AlignedFree::operator()(uint8_t* p) const {
+  ::operator delete[](p, std::align_val_t{64});
+}
+
+SnapshotMapping::~SnapshotMapping() {
+#if KRCORE_HAVE_MMAP
+  if (mapped_ && map_addr_ != nullptr) {
+    ::munmap(map_addr_, static_cast<size_t>(size_));
+  }
+#endif
+}
+
+Status SnapshotMapping::Open(const std::string& path,
+                             std::shared_ptr<const SnapshotMapping>* out) {
+  out->reset();
+  // shared_ptr with access to the private constructor.
+  std::shared_ptr<SnapshotMapping> m(new SnapshotMapping());
+
+  // The failpoint simulates an mmap-hostile environment (no MAP support on
+  // the filesystem, exhausted address space): the loader must degrade to
+  // the aligned-read fallback with identical serving semantics.
+  const bool allow_mmap = !Failpoints::ShouldFail("snapshot/mmap");
+
+#if KRCORE_HAVE_MMAP
+  const int fd = ::open(path.c_str(), O_RDONLY);
+  if (fd < 0) return Status::NotFound("cannot open for read: " + path);
+  struct stat st;
+  if (::fstat(fd, &st) != 0) {
+    ::close(fd);
+    return Status::Internal("cannot stat snapshot: " + path);
+  }
+  const uint64_t size = static_cast<uint64_t>(st.st_size);
+  m->size_ = size;
+  if (size > 0 && allow_mmap) {
+    void* addr = ::mmap(nullptr, static_cast<size_t>(size), PROT_READ,
+                        MAP_PRIVATE, fd, 0);
+    if (addr != MAP_FAILED) {
+      m->map_addr_ = addr;
+      m->data_ = static_cast<const uint8_t*>(addr);
+      m->mapped_ = true;
+      ::close(fd);
+      *out = std::move(m);
+      return Status::OK();
+    }
+    // Fall through to the read path on mmap failure.
+  }
+  if (size > 0) {
+    uint8_t* buf = static_cast<uint8_t*>(
+        ::operator new[](static_cast<size_t>(size), std::align_val_t{64}));
+    m->heap_.reset(buf);
+    m->data_ = buf;
+    uint64_t done = 0;
+    while (done < size) {
+      const ssize_t got =
+          ::read(fd, buf + done, static_cast<size_t>(size - done));
+      if (got < 0) {
+        ::close(fd);
+        return Status::Internal("read failed on snapshot: " + path);
+      }
+      if (got == 0) {
+        ::close(fd);
+        return Status::Internal("snapshot shrank while reading: " + path);
+      }
+      done += static_cast<uint64_t>(got);
+    }
+  }
+  ::close(fd);
+#else
+  (void)allow_mmap;
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) return Status::NotFound("cannot open for read: " + path);
+  std::fseek(f, 0, SEEK_END);
+  const long end = std::ftell(f);
+  if (end < 0) {
+    std::fclose(f);
+    return Status::Internal("cannot size snapshot: " + path);
+  }
+  std::fseek(f, 0, SEEK_SET);
+  const uint64_t size = static_cast<uint64_t>(end);
+  m->size_ = size;
+  if (size > 0) {
+    uint8_t* buf = static_cast<uint8_t*>(
+        ::operator new[](static_cast<size_t>(size), std::align_val_t{64}));
+    m->heap_.reset(buf);
+    m->data_ = buf;
+    if (std::fread(buf, 1, static_cast<size_t>(size), f) !=
+        static_cast<size_t>(size)) {
+      std::fclose(f);
+      return Status::Internal("read failed on snapshot: " + path);
+    }
+  }
+  std::fclose(f);
+#endif
+  *out = std::move(m);
+  return Status::OK();
+}
+
+}  // namespace krcore

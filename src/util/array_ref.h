@@ -1,0 +1,108 @@
+#ifndef KRCORE_UTIL_ARRAY_REF_H_
+#define KRCORE_UTIL_ARRAY_REF_H_
+
+#include <algorithm>
+#include <cstddef>
+#include <initializer_list>
+#include <span>
+#include <utility>
+#include <vector>
+
+namespace krcore {
+
+/// Immutable array with an owned-vs-borrowed backing seam: either owns a
+/// std::vector<T> or borrows a span of externally-owned bytes (an mmapped
+/// snapshot region). Readers see one uniform std::span-shaped surface, so
+/// every consumer of what used to be a std::vector<T> member keeps working
+/// whether the storage lives on the heap or in a mapped file.
+///
+/// A borrowed ArrayRef does NOT extend the lifetime of its backing; the
+/// holder of the mapping (PreparedWorkspace::backing) must outlive it.
+/// Copying a borrowed ArrayRef shares the borrowed range; copying an owned
+/// one deep-copies. Assigning a vector always produces an owned array.
+template <typename T>
+class ArrayRef {
+ public:
+  ArrayRef() = default;
+  /// Implicit on purpose: every existing producer hands over a vector.
+  ArrayRef(std::vector<T> v) : owned_(std::move(v)), view_(owned_) {}
+  ArrayRef(std::initializer_list<T> il) : owned_(il), view_(owned_) {}
+
+  /// Borrows `s` without copying. The caller owns the backing's lifetime.
+  static ArrayRef Borrowed(std::span<const T> s) {
+    ArrayRef r;
+    r.view_ = s;
+    r.borrowed_ = true;
+    return r;
+  }
+
+  ArrayRef(const ArrayRef& o) { *this = o; }
+  ArrayRef& operator=(const ArrayRef& o) {
+    if (this == &o) return *this;
+    borrowed_ = o.borrowed_;
+    if (o.borrowed_) {
+      owned_.clear();
+      view_ = o.view_;
+    } else {
+      owned_ = o.owned_;
+      view_ = owned_;
+    }
+    return *this;
+  }
+  ArrayRef(ArrayRef&& o) noexcept { *this = std::move(o); }
+  ArrayRef& operator=(ArrayRef&& o) noexcept {
+    if (this == &o) return *this;
+    borrowed_ = o.borrowed_;
+    owned_ = std::move(o.owned_);
+    view_ = borrowed_ ? o.view_ : std::span<const T>(owned_);
+    o.owned_.clear();
+    o.view_ = {};
+    o.borrowed_ = false;
+    return *this;
+  }
+  ArrayRef& operator=(std::vector<T> v) {
+    owned_ = std::move(v);
+    view_ = owned_;
+    borrowed_ = false;
+    return *this;
+  }
+  ArrayRef& operator=(std::initializer_list<T> il) {
+    owned_.assign(il);
+    view_ = owned_;
+    borrowed_ = false;
+    return *this;
+  }
+
+  const T* data() const { return view_.data(); }
+  size_t size() const { return view_.size(); }
+  bool empty() const { return view_.empty(); }
+  const T& operator[](size_t i) const { return view_[i]; }
+  const T& front() const { return view_.front(); }
+  const T& back() const { return view_.back(); }
+  const T* begin() const { return view_.data(); }
+  const T* end() const { return view_.data() + view_.size(); }
+  operator std::span<const T>() const { return view_; }
+  std::span<const T> span() const { return view_; }
+  bool borrowed() const { return borrowed_; }
+
+  friend bool operator==(const ArrayRef& a, const ArrayRef& b) {
+    return a.view_.size() == b.view_.size() &&
+           std::equal(a.begin(), a.end(), b.begin());
+  }
+  friend bool operator==(const ArrayRef& a, const std::vector<T>& b) {
+    return a.view_.size() == b.size() && std::equal(a.begin(), a.end(),
+                                                    b.begin());
+  }
+  friend bool operator==(const std::vector<T>& a, const ArrayRef& b) {
+    return b == a;
+  }
+
+ private:
+  std::vector<T> owned_;
+  std::span<const T> view_;
+  bool borrowed_ = false;
+};
+
+}  // namespace krcore
+
+#endif  // KRCORE_UTIL_ARRAY_REF_H_

@@ -18,7 +18,7 @@ std::vector<std::vector<VertexId>> ComponentSets(
     const std::vector<ComponentContext>& comps) {
   std::vector<std::vector<VertexId>> sets;
   for (const auto& c : comps) {
-    auto parents = c.to_parent;
+    std::vector<VertexId> parents(c.to_parent.begin(), c.to_parent.end());
     std::sort(parents.begin(), parents.end());
     sets.push_back(std::move(parents));
   }

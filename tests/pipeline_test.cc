@@ -60,7 +60,7 @@ TEST(Pipeline, ComponentsSplitAndMapBack) {
   ASSERT_EQ(comps.size(), 2u);
   std::vector<std::vector<VertexId>> parents;
   for (const auto& c : comps) {
-    auto p = c.to_parent;
+    std::vector<VertexId> p(c.to_parent.begin(), c.to_parent.end());
     std::sort(p.begin(), p.end());
     parents.push_back(p);
   }

@@ -266,7 +266,7 @@ std::string MetaPayloadV1(uint64_t num_components, uint32_t k,
 
 std::string FileWithSections(
     const std::vector<std::pair<uint32_t, std::string>>& sections,
-    uint32_t file_version = kSnapshotVersion) {
+    uint32_t file_version = kSnapshotVersionSectioned) {
   std::string bytes(kSnapshotMagic, sizeof(kSnapshotMagic));
   PutU32(&bytes, file_version);
   for (const auto& [tag, payload] : sections) {

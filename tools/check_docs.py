@@ -32,6 +32,7 @@ DOC_FILES = ["README.md"] + sorted(
 FLAG_SOURCES = {
     "krcore_cli": ["examples/krcore_cli.cpp"],
     "krcore_server": ["examples/krcore_server.cpp"],
+    "snapshot_tool": ["tools/snapshot_tool.cc"],
 }
 # Bench binaries parse their own flags plus the shared experiment
 # harness flags (--scale/--seed/--threads/--timeout/--quick/--csv/--json).
