@@ -1,0 +1,441 @@
+// Measures the continuous-ingestion layer's headline claim: queries never
+// wait on updates. Three phases over the same skewed (power-law degree +
+// clustered attribute) workload and the same raw update stream:
+//
+//   NoWrites   query latency against a frozen published version (floor)
+//   Streaming  the ingest pipeline applies + publishes the stream while a
+//              query thread mines whatever version is published — reads
+//              resolve a pinned immutable snapshot, so their latency should
+//              stay at the NoWrites floor
+//   Blocking   the batch-synchronous strawman: one workspace, one mutex,
+//              repairs and queries serialized — every query risks stalling
+//              behind a repair
+//
+// Reported: query p50/p99 per phase (and the p99 ratios against the
+// floor), sustained updates/sec (busy and wall), the staleness bound and
+// observed maximum, and the coalescer's accounting on the churn-heavy hub
+// stream. The process exits non-zero ONLY on read divergence: every
+// checked version (one pinned mid-stream, the final one, and the blocking
+// baseline's end state) must be bit-identical to a cold PrepareWorkspace
+// of the corresponding update-stream prefix and mine identical results.
+// Latency ratios are reported, not gated — single-core CI hosts make
+// wall-clock gates flaky; the checked-in baseline records the headline.
+//
+// Usage: bench_ingest [--scale=] [--timeout=] [--quick] [--threads=]
+//                     [--json=BENCH_ingest.json] [--csv=]
+
+#include <algorithm>
+#include <atomic>
+#include <cstdio>
+#include <deque>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "bench_support/experiment.h"
+#include "core/maximum.h"
+#include "core/pipeline.h"
+#include "core/workspace_update.h"
+#include "datasets/dataset_spec.h"
+#include "ingest/ingest_pipeline.h"
+#include "ingest/live_workspace.h"
+#include "util/options.h"
+#include "util/random.h"
+#include "util/timer.h"
+
+using namespace krcore;
+
+namespace {
+
+struct BenchShape {
+  int batches;
+  int updates_per_batch;
+  int floor_queries;  // NoWrites phase sample count
+  uint32_t k;
+};
+
+BenchShape ShapeFor(bool quick) {
+  if (quick) return {60, 24, 40, 4};
+  return {200, 160, 150, 4};
+}
+
+/// Quadratic bias toward the low ids — MakeSkewed puts the hubs there, so
+/// the stream keeps touching the same few hub adjacencies: the churn
+/// profile the coalescer exists for.
+VertexId HubBiased(Rng* rng, VertexId n) {
+  const double x = rng->NextDouble();
+  return static_cast<VertexId>(std::min<double>(n - 1, x * x * n));
+}
+
+/// The raw stream: inserts of hub-biased pairs, removes of recently
+/// inserted edges (insert-then-delete churn the coalescer annihilates),
+/// and removes of long-lived edges (real structural change).
+std::vector<std::vector<EdgeUpdate>> MakeStream(const Graph& g,
+                                                const BenchShape& shape,
+                                                uint64_t seed) {
+  Rng rng(seed);
+  const VertexId n = g.num_vertices();
+  std::vector<std::pair<VertexId, VertexId>> existing;
+  for (VertexId u = 0; u < n; ++u) {
+    for (VertexId v : g.neighbors(u)) {
+      if (u < v) existing.push_back({u, v});
+    }
+  }
+  std::deque<std::pair<VertexId, VertexId>> recent;
+  std::vector<std::vector<EdgeUpdate>> stream;
+  stream.reserve(shape.batches);
+  for (int b = 0; b < shape.batches; ++b) {
+    std::vector<EdgeUpdate> batch;
+    batch.reserve(shape.updates_per_batch);
+    for (int i = 0; i < shape.updates_per_batch; ++i) {
+      const double roll = rng.NextDouble();
+      if (roll < 0.5 || (recent.empty() && existing.empty())) {
+        VertexId u = HubBiased(&rng, n);
+        VertexId v = HubBiased(&rng, n);
+        if (u == v) v = (v + 1) % n;
+        batch.push_back(EdgeUpdate::Insert(u, v));
+        recent.push_back({std::min(u, v), std::max(u, v)});
+        if (recent.size() > 256) recent.pop_front();
+      } else if (roll < 0.75 && !recent.empty()) {
+        const auto e = recent[rng.NextBounded(recent.size())];
+        batch.push_back(EdgeUpdate::Remove(e.first, e.second));
+      } else if (!existing.empty()) {
+        const auto& e = existing[rng.NextBounded(existing.size())];
+        batch.push_back(EdgeUpdate::Remove(e.first, e.second));
+      }
+    }
+    stream.push_back(std::move(batch));
+  }
+  return stream;
+}
+
+struct LatencySummary {
+  double p50 = 0.0;
+  double p99 = 0.0;
+  double total = 0.0;
+  size_t samples = 0;
+};
+
+LatencySummary Summarize(std::vector<double> latencies) {
+  LatencySummary out;
+  out.samples = latencies.size();
+  if (latencies.empty()) return out;
+  for (double l : latencies) out.total += l;
+  std::sort(latencies.begin(), latencies.end());
+  out.p50 = latencies[latencies.size() / 2];
+  out.p99 = latencies[std::min(latencies.size() - 1,
+                               latencies.size() * 99 / 100)];
+  return out;
+}
+
+Measurement Point(const std::string& series, const std::string& x,
+                  double seconds, uint64_t count = 0) {
+  Measurement m;
+  m.series = series;
+  m.x_label = x;
+  m.seconds = seconds;
+  m.result_count = count;
+  return m;
+}
+
+/// One query: resolve the latest published version, mine its maximum
+/// (k,r)-core. The resolve is the only contact with the live machinery —
+/// everything after runs on the pinned immutable snapshot.
+double TimedQuery(const LiveWorkspace& live, const MaxOptions& options,
+                  uint64_t* result_size) {
+  Timer t;
+  PublishedVersion version = live.Current();
+  MaximumCoreResult result =
+      FindMaximumCore(version.workspace->components, options);
+  *result_size = result.best.size();
+  return t.ElapsedSeconds();
+}
+
+/// Structural comparison of a published version against a cold preparation
+/// of its stream prefix: component layout, per-vertex structure rows and
+/// dissimilarity rows must match exactly, and mining both substrates must
+/// return the same maximum core. (The byte-level lock — including stored
+/// scores and the version counter — lives in ingest_test's DiffWorkspaces
+/// assertions; the bench re-checks the load-bearing structure at scale.)
+/// Returns "" on success.
+std::string CheckAgainstColdPrefix(const PreparedWorkspace& published,
+                                   const Graph& prefix_graph,
+                                   const SimilarityOracle& oracle,
+                                   uint32_t k, const MaxOptions& mine) {
+  PipelineOptions prep;
+  prep.k = k;
+  PreparedWorkspace cold;
+  if (Status s = PrepareWorkspace(prefix_graph, oracle, prep, &cold);
+      !s.ok()) {
+    return "cold prepare failed: " + s.ToString();
+  }
+  if (published.components.size() != cold.components.size()) {
+    return "component count differs";
+  }
+  for (size_t c = 0; c < cold.components.size(); ++c) {
+    const ComponentContext& a = published.components[c];
+    const ComponentContext& b = cold.components[c];
+    const std::string where = "component " + std::to_string(c);
+    if (a.to_parent != b.to_parent) return where + ": vertex map differs";
+    if (a.graph.num_edges() != b.graph.num_edges()) {
+      return where + ": edge count differs";
+    }
+    if (a.dissimilar.num_pairs() != b.dissimilar.num_pairs()) {
+      return where + ": dissimilar pair count differs";
+    }
+    for (VertexId u = 0; u < a.size(); ++u) {
+      auto an = a.graph.neighbors(u);
+      auto bn = b.graph.neighbors(u);
+      if (!std::equal(an.begin(), an.end(), bn.begin(), bn.end())) {
+        return where + ": structure row differs at vertex " +
+               std::to_string(u);
+      }
+      auto ad = a.dissimilar[u];
+      auto bd = b.dissimilar[u];
+      if (!std::equal(ad.begin(), ad.end(), bd.begin(), bd.end())) {
+        return where + ": dissimilarity row differs at vertex " +
+               std::to_string(u);
+      }
+    }
+  }
+  MaximumCoreResult a = FindMaximumCore(published.components, mine);
+  MaximumCoreResult b = FindMaximumCore(cold.components, mine);
+  if (!a.status.ok() || !b.status.ok()) return "mining failed";
+  if (a.best != b.best) return "maximum core differs from cold rebuild";
+  return "";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  OptionParser options(argc, argv);
+  auto env = ExperimentEnv::FromOptions(options);
+  const BenchShape shape = ShapeFor(env.quick);
+
+  DatasetSpec spec;
+  spec.kind = "skewed";
+  spec.scale = env.quick ? 0.04 : env.scale * 0.5;
+  spec.seed = env.seed;
+  Dataset dataset;
+  if (Status s = MakeDataset(spec, &dataset); !s.ok()) {
+    std::fprintf(stderr, "dataset failed: %s\n", s.ToString().c_str());
+    return 1;
+  }
+  std::printf("%s\n", dataset.StatsString().c_str());
+
+  // Loose enough that the similarity-filtered graph keeps real structure
+  // to mine (the clustered keyword blocks put most intra-cluster pairs in
+  // the top fifth) — per-query work has to be non-trivial for the
+  // stall-behind-repairs comparison to mean anything.
+  const double r = ResolveThresholdPermille(dataset, 200.0);
+  SimilarityOracle oracle = dataset.MakeOracle(r);
+  PipelineOptions prep;
+  prep.k = shape.k;
+  PreparedWorkspace initial;
+  if (Status s = PrepareWorkspace(dataset.graph, oracle, prep, &initial);
+      !s.ok()) {
+    std::fprintf(stderr, "prepare failed: %s\n", s.ToString().c_str());
+    return 1;
+  }
+  MaxOptions mine = AdvMaxOptions(shape.k);
+  mine.deadline = Deadline::AfterSeconds(env.timeout_seconds);
+  mine.parallel.num_threads = env.threads;
+
+  const std::vector<std::vector<EdgeUpdate>> stream =
+      MakeStream(dataset.graph, shape, env.seed * 31 + 7);
+  uint64_t raw_updates = 0;
+  for (const auto& batch : stream) raw_updates += batch.size();
+  std::printf("--- Ingest: %d batches, %llu raw updates (%s) ---\n",
+              shape.batches, (unsigned long long)raw_updates,
+              env.quick ? "quick" : "full");
+
+  FigureReport figure("Ingest",
+                      "query latency under streaming ingestion vs frozen "
+                      "and blocking baselines");
+  std::string divergence;
+
+  // Phase 1: NoWrites floor. A short warmup first — the very first mines
+  // pay one-time page-fault/allocator costs that would smear a sub-ms p99.
+  LiveWorkspace live(dataset.graph, oracle, initial);
+  std::vector<double> floor_latencies;
+  uint64_t sink = 0;
+  for (int q = 0; q < 8; ++q) (void)TimedQuery(live, mine, &sink);
+  for (int q = 0; q < shape.floor_queries; ++q) {
+    floor_latencies.push_back(TimedQuery(live, mine, &sink));
+  }
+  const LatencySummary floor = Summarize(std::move(floor_latencies));
+  figure.Add(Point("NoWrites", "p50", floor.p50));
+  figure.Add(Point("NoWrites", "p99", floor.p99));
+
+  // Phase 2: streaming ingestion. The submitter pushes the whole stream
+  // through the pipeline while the query thread keeps mining whatever is
+  // published; one mid-stream version is pinned for the prefix check.
+  IngestOptions ingest;
+  ingest.update.max_dirty_fraction = 0.35;
+  ingest.publish_every_applies = 1;
+  IngestPipeline pipeline(&live, ingest);
+  pipeline.Start();
+
+  std::atomic<bool> ingest_done{false};
+  Timer stream_timer;
+  std::thread submitter([&] {
+    for (const auto& batch : stream) {
+      if (!pipeline.Submit(batch).ok()) break;
+    }
+    pipeline.Flush();
+    ingest_done.store(true, std::memory_order_release);
+  });
+
+  std::vector<double> streaming_latencies;
+  PublishedVersion pinned;  // last distinct mid-stream version observed
+  while (!ingest_done.load(std::memory_order_acquire)) {
+    streaming_latencies.push_back(TimedQuery(live, mine, &sink));
+    PublishedVersion v = live.Current();
+    if (v.epoch > pinned.epoch &&
+        v.batches_applied < stream.size()) {
+      pinned = std::move(v);
+    }
+  }
+  submitter.join();
+  const double stream_seconds = stream_timer.ElapsedSeconds();
+  const IngestStatsSnapshot stats = pipeline.Stats();
+  pipeline.Stop();
+  const LatencySummary streaming = Summarize(std::move(streaming_latencies));
+
+  // Read-divergence checks: the pinned mid-stream version and the final
+  // published version must both equal a cold preparation of their exact
+  // stream prefix. (Replay the raw stream on the mirror; rolled-back
+  // batches would break the mapping, so require none.)
+  if (stats.rolled_back_batches != 0) {
+    divergence = "unexpected rollbacks in a fault-free run";
+  }
+  EdgeSetMirror mirror(dataset.graph);
+  if (divergence.empty() && pinned.workspace != nullptr) {
+    for (uint64_t b = 0; b < pinned.batches_applied; ++b) {
+      mirror.Apply(stream[b]);
+    }
+    divergence = CheckAgainstColdPrefix(*pinned.workspace, mirror.Build(),
+                                        oracle, shape.k, mine);
+    if (!divergence.empty()) {
+      divergence = "mid-stream (prefix " +
+                   std::to_string(pinned.batches_applied) +
+                   " batches): " + divergence;
+    }
+    for (uint64_t b = pinned.batches_applied; b < stream.size(); ++b) {
+      mirror.Apply(stream[b]);
+    }
+  } else {
+    for (const auto& batch : stream) mirror.Apply(batch);
+  }
+  const Graph final_graph = mirror.Build();
+  if (divergence.empty()) {
+    divergence = CheckAgainstColdPrefix(*live.Current().workspace,
+                                        final_graph, oracle, shape.k, mine);
+    if (!divergence.empty()) divergence = "final: " + divergence;
+  }
+
+  // Phase 3: the blocking batch-synchronous baseline — one workspace, one
+  // mutex, no coalescing, no snapshots: every query contends with repairs.
+  PreparedWorkspace blocking_ws = initial;
+  WorkspaceUpdater updater(dataset.graph, oracle, &blocking_ws);
+  std::mutex blocking_mu;
+  std::atomic<bool> blocking_done{false};
+  std::thread blocking_writer([&] {
+    UpdateOptions update;
+    update.max_dirty_fraction = 0.35;
+    for (const auto& batch : stream) {
+      {
+        std::lock_guard<std::mutex> lock(blocking_mu);
+        if (!updater.ApplyEdgeUpdates(batch, update).ok()) break;
+      }
+      // Model continuously arriving batches rather than one tight burst —
+      // without the gap a mutex-unfair scheduler lets the writer finish
+      // the whole stream before a single query gets the lock, hiding
+      // exactly the stalls this baseline exists to show.
+      std::this_thread::yield();
+    }
+    blocking_done.store(true, std::memory_order_release);
+  });
+  std::vector<double> blocking_latencies;
+  while (!blocking_done.load(std::memory_order_acquire)) {
+    Timer t;
+    {
+      std::lock_guard<std::mutex> lock(blocking_mu);
+      MaximumCoreResult result = FindMaximumCore(blocking_ws.components, mine);
+      sink += result.best.size();
+    }
+    blocking_latencies.push_back(t.ElapsedSeconds());
+  }
+  blocking_writer.join();
+  const LatencySummary blocking = Summarize(std::move(blocking_latencies));
+  if (divergence.empty()) {
+    std::string diff = CheckAgainstColdPrefix(blocking_ws, final_graph,
+                                              oracle, shape.k, mine);
+    if (!diff.empty()) divergence = "blocking baseline: " + diff;
+  }
+
+  figure.Add(Point("Streaming", "p50", streaming.p50));
+  figure.Add(Point("Streaming", "p99", streaming.p99));
+  figure.Add(Point("Blocking", "p50", blocking.p50));
+  figure.Add(Point("Blocking", "p99", blocking.p99));
+  figure.Add(Point("Ratio", "streaming_p99_over_nowrites",
+                   floor.p99 > 0 ? streaming.p99 / floor.p99 : 0.0));
+  figure.Add(Point("Ratio", "blocking_p99_over_nowrites",
+                   floor.p99 > 0 ? blocking.p99 / floor.p99 : 0.0));
+  figure.Add(Point("Throughput", "updates_per_sec_busy",
+                   stats.UpdatesPerSecond(), stats.published_stream_updates));
+  figure.Add(Point("Throughput", "updates_per_sec_wall",
+                   stream_seconds > 0 ? raw_updates / stream_seconds : 0.0,
+                   raw_updates));
+  figure.Add(Point("Staleness", "bound_batches",
+                   static_cast<double>(ingest.publish_every_applies)));
+  figure.Add(Point("Staleness", "max_seconds", stats.max_staleness_seconds));
+  figure.Add(Point("Coalesce", "raw", 0.0, stats.submitted_updates));
+  figure.Add(Point("Coalesce", "emitted", 0.0, stats.emitted_updates));
+  figure.Add(Point("Coalesce", "merged", 0.0, stats.merged_updates));
+  figure.Add(Point("Coalesce", "annihilated", 0.0,
+                   stats.annihilated_updates));
+  figure.Add(Point("Coalesce", "dropped_noops", 0.0,
+                   stats.dropped_noop_updates));
+  figure.Finish(env);
+
+  std::printf(
+      "queries: floor p99 %.4fs | streaming p99 %.4fs (%.2fx floor, %zu "
+      "samples) | blocking p99 %.4fs (%.2fx floor)\n",
+      floor.p99, streaming.p99,
+      floor.p99 > 0 ? streaming.p99 / floor.p99 : 0.0, streaming.samples,
+      blocking.p99, floor.p99 > 0 ? blocking.p99 / floor.p99 : 0.0);
+  std::printf(
+      "ingest: %.0f updates/s busy, %.0f updates/s wall | coalesce "
+      "%llu raw -> %llu emitted | max staleness %.4fs | reads %s\n",
+      stats.UpdatesPerSecond(),
+      stream_seconds > 0 ? raw_updates / stream_seconds : 0.0,
+      (unsigned long long)stats.submitted_updates,
+      (unsigned long long)stats.emitted_updates, stats.max_staleness_seconds,
+      divergence.empty() ? "identical" : "DIVERGED (BUG)");
+  if (!divergence.empty()) {
+    std::fprintf(stderr, "read divergence: %s\n", divergence.c_str());
+    return 1;
+  }
+
+  if (!env.json_path.empty()) {
+    char command[160];
+    std::snprintf(command, sizeof(command),
+                  "bench_ingest --scale=%g --timeout=%g%s", env.scale,
+                  env.timeout_seconds, env.quick ? " --quick" : "");
+    WriteJsonReport(
+        env.json_path, "bench_ingest",
+        "Continuous ingestion on the skewed (power-law + clustered "
+        "attribute) workload: the epoch-publishing pipeline applies a "
+        "churn-heavy hub update stream while a query thread mines the "
+        "published version — latency is compared against a frozen "
+        "workspace (floor) and a mutex-serialized batch-synchronous "
+        "baseline. Every checked version is verified bit-identical to a "
+        "cold preparation of its exact stream prefix (non-zero exit on "
+        "divergence); latency ratios are reported, not gated.",
+        command, env, {&figure});
+  }
+  return 0;
+}

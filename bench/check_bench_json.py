@@ -30,6 +30,7 @@ CONFIG_FIELDS = {
     "seed": int,
     "threads": int,
     "hardware_concurrency": int,
+    "effective_threads": int,
     "build_type": str,
     "compiler": str,
 }

@@ -24,16 +24,20 @@
 // Exits non-zero on error; prints one core per line (sorted vertex ids).
 
 #include <algorithm>
+#include <atomic>
+#include <chrono>
 #include <cstdio>
 #include <fstream>
 #include <limits>
 #include <sstream>
+#include <thread>
 
 #include "core/enumerate.h"
 #include "core/maximum.h"
 #include "core/parameter_sweep.h"
 #include "core/workspace_update.h"
 #include "datasets/generators.h"
+#include "ingest/ingest_pipeline.h"
 #include "graph/graph_io.h"
 #include "similarity/attributes_io.h"
 #include "similarity/threshold.h"
@@ -245,6 +249,20 @@ int main(int argc, char** argv) {
         "                    mining call, each preceded by a `# version N`\n"
         "                    line. Combine with --snapshot_out to save the\n"
         "                    final (versioned) workspace\n"
+        "  --stream          streaming ingestion mode for --updates: a\n"
+        "                    dedicated writer thread coalesces and applies\n"
+        "                    the batches while this thread keeps mining the\n"
+        "                    published immutable version — reads never wait\n"
+        "                    on repair work. One result section per epoch\n"
+        "                    observed (headers name epoch + stream position;\n"
+        "                    how many epochs the reader catches depends on\n"
+        "                    timing). Ingestion stats land on stderr as JSON\n"
+        "  --publish_every=N publish cadence (= staleness bound) in applied\n"
+        "                    repair batches for --stream (default 1)\n"
+        "  --checkpoint=F    with --stream: crash-atomically checkpoint the\n"
+        "                    latest published version to F (temp file +\n"
+        "                    rename; the previous checkpoint stays loadable\n"
+        "                    through a crash)\n"
         "fault injection (robustness testing; see README 'Failure model'):\n"
         "  --failpoints=SPEC arm failpoints, e.g.\n"
         "                    snapshot/rename=once,join/pairs=prob:0.01:7 —\n"
@@ -487,6 +505,92 @@ int main(int argc, char** argv) {
     if (!s.ok()) return Fail(s.ToString());
     std::fprintf(stderr, "prepared workspace: k=%u r=%g, %zu components\n",
                  ws.k, ws.threshold, ws.components.size());
+
+    // --- Streaming ingestion: writer thread applies + publishes, this
+    // thread mines whichever immutable version is published — a read never
+    // waits on a repair, a repair never waits on a read.
+    if (options.GetBool("stream", false)) {
+      LiveWorkspace live(dataset.graph, oracle, std::move(ws));
+      IngestOptions ingest;
+      ingest.update.join_strategy = join_strategy;
+      ingest.publish_every_applies = static_cast<uint32_t>(
+          std::max<int64_t>(1, options.GetInt("publish_every", 1)));
+      ingest.checkpoint_path = options.GetString("checkpoint", "");
+      IngestPipeline pipeline(&live, ingest);
+
+      auto WriteEpochHeader = [&](const PublishedVersion& v) {
+        std::string line = "# epoch " + std::to_string(v.epoch) +
+                           " batches " + std::to_string(v.batches_applied) +
+                           " updates " + std::to_string(v.updates_applied) +
+                           "\n";
+        if (out_path.empty()) {
+          std::fputs(line.c_str(), sink);
+        } else {
+          out_file << line;
+        }
+      };
+
+      PublishedVersion version = live.Current();
+      WriteEpochHeader(version);
+      int exit_code = MineComponents(version.workspace->components, k);
+      uint64_t mined_epoch = version.epoch;
+
+      pipeline.Start();
+      std::atomic<bool> ingest_done{false};
+      std::thread submitter([&] {
+        for (const auto& batch : batches) {
+          // Submit blocks on backpressure only; a stopped pipeline is the
+          // sole error and cannot happen while we own it.
+          (void)pipeline.Submit(batch);
+        }
+        pipeline.Flush();
+        ingest_done.store(true, std::memory_order_release);
+      });
+
+      // Reader loop: re-mine every time a new epoch becomes visible. The
+      // version each pass pins stays bit-stable no matter how many batches
+      // the writer applies meanwhile.
+      while (true) {
+        version = live.Current();
+        if (version.epoch != mined_epoch) {
+          mined_epoch = version.epoch;
+          WriteEpochHeader(version);
+          int code = MineComponents(version.workspace->components, k);
+          if (exit_code == 0) exit_code = code;
+          continue;  // catch up without sleeping
+        }
+        if (ingest_done.load(std::memory_order_acquire)) break;
+        std::this_thread::sleep_for(std::chrono::milliseconds(1));
+      }
+      submitter.join();
+      pipeline.Stop();
+
+      // Final state (Flush guarantees it is published).
+      version = live.Current();
+      if (version.epoch != mined_epoch) {
+        WriteEpochHeader(version);
+        int code = MineComponents(version.workspace->components, k);
+        if (exit_code == 0) exit_code = code;
+      }
+      const IngestStatsSnapshot ingest_stats = pipeline.Stats();
+      std::fprintf(stderr, "ingest: %s\n", ingest_stats.ToJson().c_str());
+      if (ingest_stats.rolled_back_batches > 0) {
+        std::fprintf(stderr,
+                     "warning: %llu batches rolled back and dropped\n",
+                     (unsigned long long)ingest_stats.rolled_back_batches);
+      }
+      if (options.Has("snapshot_out")) {
+        const std::string path = options.GetString("snapshot_out", "");
+        s = SaveWorkspaceSnapshot(*version.workspace, path);
+        if (!s.ok()) return Fail(s.ToString());
+        std::fprintf(stderr,
+                     "saved workspace (epoch=%llu version=%llu) to %s\n",
+                     (unsigned long long)version.epoch,
+                     (unsigned long long)version.workspace->version,
+                     path.c_str());
+      }
+      return exit_code;
+    }
 
     WorkspaceUpdater updater(dataset.graph, oracle, &ws);
     UpdateOptions update_options;

@@ -10,6 +10,8 @@
 #include <sstream>
 #include <thread>
 
+#include "core/parallel.h"
+
 #include "datasets/generators.h"
 #include "similarity/threshold.h"
 #include "util/logging.h"
@@ -155,6 +157,9 @@ void WriteJsonReport(const std::string& path, const std::string& bench,
       << "    \"threads\": " << env.threads << ",\n"
       << "    \"hardware_concurrency\": "
       << std::thread::hardware_concurrency() << ",\n"
+      << "    \"effective_threads\": "
+      << ResolveThreadCount(env.threads, std::thread::hardware_concurrency())
+      << ",\n"
 #ifdef NDEBUG
       << "    \"build_type\": \"Release\",\n"
 #else

@@ -48,9 +48,14 @@ class SharedBest {
   }
 
  private:
-  std::mutex mu_;
+  // The incumbent size is polled at every search node by every worker, so
+  // it must own its cache line: sharing one with the mutex (or the vector's
+  // header, which Offer rewrites) would make each rare emission invalidate
+  // the line for all pollers — the false-sharing suspect ROADMAP names for
+  // the missing multicore speedup on the bound-pruning hot path.
+  alignas(64) std::atomic<uint64_t> size_{0};
+  alignas(64) std::mutex mu_;
   VertexSet best_;
-  std::atomic<uint64_t> size_{0};
 };
 
 /// Cached expensive-tier bound, inherited *down* the recursion by value: a

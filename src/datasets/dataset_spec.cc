@@ -1,0 +1,182 @@
+#include "datasets/dataset_spec.h"
+
+#include <algorithm>
+#include <cmath>
+#include <utility>
+
+#include "datasets/generators.h"
+#include "graph/graph_builder.h"
+#include "util/random.h"
+
+namespace krcore {
+namespace {
+
+/// Weight-proportional vertex sampler: prefix sums + binary search. Holds
+/// the global population and one sub-range view per cluster.
+class PrefixSampler {
+ public:
+  /// `weights` indexed by vertex; `members` lists each cluster's vertices.
+  PrefixSampler(const std::vector<double>& weights,
+                const std::vector<std::vector<VertexId>>& clusters) {
+    global_.reserve(weights.size());
+    double total = 0.0;
+    for (double w : weights) {
+      total += w;
+      global_.push_back(total);
+    }
+    cluster_members_ = &clusters;
+    cluster_prefix_.resize(clusters.size());
+    for (size_t c = 0; c < clusters.size(); ++c) {
+      double sum = 0.0;
+      cluster_prefix_[c].reserve(clusters[c].size());
+      for (VertexId u : clusters[c]) {
+        sum += weights[u];
+        cluster_prefix_[c].push_back(sum);
+      }
+    }
+  }
+
+  VertexId SampleGlobal(Rng& rng) const {
+    return SampleFrom(global_, rng, nullptr);
+  }
+
+  VertexId SampleCluster(uint32_t c, Rng& rng) const {
+    if (cluster_prefix_[c].empty()) return SampleGlobal(rng);
+    return SampleFrom(cluster_prefix_[c], rng, &(*cluster_members_)[c]);
+  }
+
+ private:
+  static VertexId SampleFrom(const std::vector<double>& prefix, Rng& rng,
+                             const std::vector<VertexId>* members) {
+    const double x = rng.NextDouble() * prefix.back();
+    const size_t i =
+        std::upper_bound(prefix.begin(), prefix.end(), x) - prefix.begin();
+    const size_t idx = std::min(i, prefix.size() - 1);
+    return members ? (*members)[idx] : static_cast<VertexId>(idx);
+  }
+
+  std::vector<double> global_;
+  const std::vector<std::vector<VertexId>>* cluster_members_ = nullptr;
+  std::vector<std::vector<double>> cluster_prefix_;
+};
+
+uint32_t Scaled(uint32_t base, double scale) {
+  return std::max<uint32_t>(
+      16, static_cast<uint32_t>(std::lround(base * scale)));
+}
+
+}  // namespace
+
+Dataset MakeSkewed(const SkewedConfig& config, const std::string& name) {
+  Rng rng(config.seed);
+  const uint32_t n = config.num_vertices;
+  const uint32_t num_clusters = std::max(1u, config.num_clusters);
+
+  // Uniform cluster assignment; the skew lives in the weights, not the
+  // cluster sizes, so degree and cluster membership stay uncorrelated.
+  std::vector<uint32_t> cluster(n);
+  std::vector<std::vector<VertexId>> members(num_clusters);
+  for (uint32_t u = 0; u < n; ++u) {
+    cluster[u] = static_cast<uint32_t>(rng.NextBounded(num_clusters));
+    members[cluster[u]].push_back(u);
+  }
+
+  // Chung–Lu weight sequence: w_u ∝ (u+1)^{-1/(skew-1)} gives a degree
+  // power law with exponent `degree_skew`; vertex 0 is the biggest hub.
+  const double exponent = -1.0 / (std::max(1.01, config.degree_skew) - 1.0);
+  std::vector<double> weights(n);
+  for (uint32_t u = 0; u < n; ++u) {
+    weights[u] = std::pow(static_cast<double>(u + 1), exponent);
+  }
+  PrefixSampler sampler(weights, members);
+
+  const uint64_t target_edges = static_cast<uint64_t>(
+      std::llround(n * config.average_degree / 2.0));
+  GraphBuilder builder(n);
+  // Hub endpoints repeat often, so sampled pairs collide; cap the attempts
+  // and let Build() deduplicate.
+  const uint64_t max_attempts = target_edges * 6 + 64;
+  for (uint64_t i = 0;
+       i < max_attempts && builder.num_pending_edges() < target_edges; ++i) {
+    const VertexId u = sampler.SampleGlobal(rng);
+    const VertexId v =
+        rng.NextDouble() < config.intra_cluster_edge_fraction
+            ? sampler.SampleCluster(cluster[u], rng)
+            : sampler.SampleGlobal(rng);
+    if (u != v) builder.AddEdge(u, v);
+  }
+
+  // Clustered attributes: cluster c owns the keyword block
+  // [c * keywords_per_cluster, (c+1) * keywords_per_cluster).
+  const uint32_t universe =
+      std::max(1u, num_clusters * config.keywords_per_cluster);
+  std::vector<SparseVector> vectors;
+  vectors.reserve(n);
+  for (uint32_t u = 0; u < n; ++u) {
+    std::vector<uint32_t> terms;
+    terms.reserve(config.keywords_per_vertex);
+    const uint32_t block = cluster[u] * config.keywords_per_cluster;
+    for (uint32_t i = 0; i < config.keywords_per_vertex; ++i) {
+      if (rng.NextDouble() < config.intra_cluster_keyword_fraction) {
+        terms.push_back(
+            block + static_cast<uint32_t>(
+                        rng.NextBounded(config.keywords_per_cluster)));
+      } else {
+        terms.push_back(static_cast<uint32_t>(rng.NextBounded(universe)));
+      }
+    }
+    std::sort(terms.begin(), terms.end());
+    terms.erase(std::unique(terms.begin(), terms.end()), terms.end());
+    vectors.emplace_back(std::move(terms));
+  }
+
+  Dataset d;
+  d.name = name;
+  d.graph = builder.Build();
+  d.attributes = AttributeTable::ForVectors(std::move(vectors));
+  d.metric = Metric::kJaccard;
+  return d;
+}
+
+std::vector<std::string> DatasetSpecKinds() {
+  return {"brightkite", "gowalla", "dblp", "pokec", "random", "skewed"};
+}
+
+Status MakeDataset(const DatasetSpec& spec, Dataset* out) {
+  if (!(spec.scale > 0.0)) {
+    return Status::InvalidArgument("dataset scale must be > 0, got " +
+                                   std::to_string(spec.scale));
+  }
+  if (spec.kind == "skewed") {
+    SkewedConfig config;
+    config.num_vertices = Scaled(config.num_vertices, spec.scale);
+    config.seed = spec.seed;
+    *out = MakeSkewed(config);
+    return Status::OK();
+  }
+  if (spec.kind == "random") {
+    RandomAttributedConfig config;
+    config.num_vertices = Scaled(20000, spec.scale);
+    config.num_edges = config.num_vertices * 4;
+    config.keyword_universe = 400;
+    config.keywords_per_vertex = 8;
+    config.seed = spec.seed;
+    *out = MakeRandomAttributed(config);
+    return Status::OK();
+  }
+  for (const std::string& kind : DatasetSpecKinds()) {
+    if (spec.kind == kind) {
+      *out = MakePaperAnalogue(spec.kind, spec.scale, spec.seed);
+      return Status::OK();
+    }
+  }
+  std::string kinds;
+  for (const std::string& kind : DatasetSpecKinds()) {
+    if (!kinds.empty()) kinds += ", ";
+    kinds += kind;
+  }
+  return Status::InvalidArgument("unknown dataset kind '" + spec.kind +
+                                 "'; valid kinds: " + kinds);
+}
+
+}  // namespace krcore

@@ -1,0 +1,80 @@
+#include "ingest/edge_coalescer.h"
+
+#include <utility>
+
+namespace krcore {
+namespace {
+
+uint64_t EdgeKey(VertexId u, VertexId v) {
+  if (u > v) std::swap(u, v);
+  return (static_cast<uint64_t>(u) << 32) | v;
+}
+
+}  // namespace
+
+EdgeBatchCoalescer::EdgeBatchCoalescer(VertexId num_vertices,
+                                       PresenceFn presence)
+    : num_vertices_(num_vertices), presence_(std::move(presence)) {}
+
+Status EdgeBatchCoalescer::Add(const EdgeUpdate& update) {
+  if (update.u == update.v) {
+    ++stats_.rejected;
+    return Status::InvalidArgument("edge update is a self-loop: " +
+                                   std::to_string(update.u));
+  }
+  if (update.u >= num_vertices_ || update.v >= num_vertices_) {
+    ++stats_.rejected;
+    return Status::InvalidArgument(
+        "edge update id out of range: {" + std::to_string(update.u) + ", " +
+        std::to_string(update.v) + "} with " + std::to_string(num_vertices_) +
+        " vertices");
+  }
+  ++stats_.raw_updates;
+  const uint64_t key = EdgeKey(update.u, update.v);
+  auto [it, inserted] = pending_.emplace(key, order_.size());
+  if (inserted) {
+    order_.push_back(update);
+    return Status::OK();
+  }
+  EdgeUpdate& slot = order_[it->second];
+  if (slot.kind == update.kind) {
+    ++stats_.merged;  // duplicate churn: +e +e (or -e -e) is one op
+  } else {
+    ++stats_.annihilated;  // +e then -e (or the reverse): the earlier op
+                           // can never be observed, only the latest counts
+  }
+  slot.kind = update.kind;
+  return Status::OK();
+}
+
+Status EdgeBatchCoalescer::Add(std::span<const EdgeUpdate> updates) {
+  for (const EdgeUpdate& u : updates) {
+    if (Status s = Add(u); !s.ok()) return s;
+  }
+  return Status::OK();
+}
+
+std::vector<EdgeUpdate> EdgeBatchCoalescer::Drain() {
+  std::vector<EdgeUpdate> out;
+  out.reserve(order_.size());
+  for (const EdgeUpdate& update : order_) {
+    if (presence_) {
+      const bool present = presence_(update.u, update.v);
+      const bool is_insert = update.kind == EdgeUpdate::Kind::kInsert;
+      if (present == is_insert) {
+        // Dead against the pre-batch edge set: inserting a present edge or
+        // removing an absent one replays as a no-op, so the repair engine
+        // never needs to see it.
+        ++stats_.dropped_noops;
+        continue;
+      }
+    }
+    out.push_back(update);
+  }
+  stats_.emitted += out.size();
+  pending_.clear();
+  order_.clear();
+  return out;
+}
+
+}  // namespace krcore

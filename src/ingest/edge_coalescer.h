@@ -1,0 +1,88 @@
+#ifndef KRCORE_INGEST_EDGE_COALESCER_H_
+#define KRCORE_INGEST_EDGE_COALESCER_H_
+
+#include <cstdint>
+#include <functional>
+#include <span>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "core/workspace_update.h"
+#include "util/status.h"
+
+namespace krcore {
+
+/// Collapses a raw edge-update stream into the minimal batch with the same
+/// effect before it ever hits the (expensive) incremental repair engine.
+///
+/// The updater's replay semantics make this legal: inserting an existing
+/// edge and removing an absent one are no-ops, so the post-batch state of an
+/// edge depends only on the LAST update that names it — every earlier update
+/// for the same edge is dead weight the repair engine would still pay
+/// bookkeeping for. The coalescer therefore keeps one pending operation per
+/// edge (latest wins) and, when it knows the pre-batch edge set (the
+/// `presence` callback), drops pending operations that are no-ops against
+/// it: a remove of an edge the graph does not contain (the insert-then-
+/// delete churn pattern — the insert it cancelled was already swallowed at
+/// overwrite time) and an insert of an edge already present.
+///
+/// Equivalence bar (locked by ingest_test): replaying Drain()'s output on
+/// any graph state yields the same edge set as replaying the raw stream —
+/// with `presence` bound to the actual pre-batch graph, and without
+/// `presence` for ANY graph state, since latest-wins is state-independent.
+///
+/// Not thread-safe: the ingestion writer thread owns its coalescer.
+class EdgeBatchCoalescer {
+ public:
+  /// Pre-batch membership test for the raw edge {u, v} (u != v, both valid).
+  /// Null = unknown: latest-wins coalescing only, no no-op dropping.
+  using PresenceFn = std::function<bool(VertexId, VertexId)>;
+
+  struct Stats {
+    uint64_t raw_updates = 0;    // Add() calls accepted
+    uint64_t rejected = 0;       // malformed updates refused at Add()
+    uint64_t merged = 0;         // same-kind overwrites (duplicate churn)
+    uint64_t annihilated = 0;    // opposite-kind overwrites (+e then -e)
+    uint64_t dropped_noops = 0;  // pending ops dead against the pre-batch
+                                 // edge set, dropped at Drain()
+    uint64_t emitted = 0;        // updates Drain() actually handed out
+  };
+
+  /// `num_vertices` bounds the id space Add() accepts (the updater would
+  /// reject the whole batch for one stray id; the coalescer quarantines the
+  /// stray update instead so the stream keeps flowing).
+  explicit EdgeBatchCoalescer(VertexId num_vertices,
+                              PresenceFn presence = nullptr);
+
+  /// Folds one update into the pending batch. InvalidArgument (and
+  /// stats().rejected) for self-loops and out-of-range ids; the pending
+  /// batch is unchanged in that case.
+  Status Add(const EdgeUpdate& update);
+
+  /// Folds a span of updates; stops at the first malformed one.
+  Status Add(std::span<const EdgeUpdate> updates);
+
+  /// Hands out the coalesced batch — one update per surviving edge, in
+  /// first-arrival order (deterministic for tests and replay logs) — and
+  /// resets the pending state.
+  std::vector<EdgeUpdate> Drain();
+
+  /// Distinct edges with a pending operation.
+  size_t pending() const { return order_.size(); }
+
+  const Stats& stats() const { return stats_; }
+
+ private:
+  VertexId num_vertices_;
+  PresenceFn presence_;
+  /// Normalized (min, max) edge -> index into order_.
+  std::unordered_map<uint64_t, size_t> pending_;
+  /// First-arrival order; `kind` is the latest operation for the edge.
+  std::vector<EdgeUpdate> order_;
+  Stats stats_;
+};
+
+}  // namespace krcore
+
+#endif  // KRCORE_INGEST_EDGE_COALESCER_H_

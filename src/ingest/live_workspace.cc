@@ -1,0 +1,82 @@
+#include "ingest/live_workspace.h"
+
+#include <memory>
+#include <utility>
+
+namespace krcore {
+
+LiveWorkspace::LiveWorkspace(const Graph& g, const SimilarityOracle& oracle,
+                             PreparedWorkspace ws)
+    : working_(std::move(ws)), updater_(g, oracle, &working_) {
+  PublishedVersion initial;
+  initial.workspace = std::make_shared<const PreparedWorkspace>(working_);
+  initial.epoch = 0;
+  initial.published_at = Clock::now();
+  std::lock_guard<std::mutex> lock(mu_);
+  published_ = std::move(initial);
+}
+
+Status LiveWorkspace::Apply(std::span<const EdgeUpdate> updates,
+                            const UpdateOptions& options,
+                            uint64_t batches_consumed,
+                            uint64_t raw_updates_consumed,
+                            UpdateReport* report) {
+  if (!updates.empty()) {
+    Status s = updater_.ApplyEdgeUpdates(updates, options, report);
+    if (!s.ok()) return s;  // transactional: working_ is bit-identical
+  }
+  std::lock_guard<std::mutex> lock(mu_);
+  if (working_batches_ == published_.batches_applied) {
+    first_unpublished_at_ = Clock::now();
+  }
+  working_batches_ += batches_consumed;
+  working_updates_ += raw_updates_consumed;
+  working_dirty_ = working_dirty_ || !updates.empty();
+  return Status::OK();
+}
+
+void LiveWorkspace::Publish() {
+  uint64_t batches, updates;
+  bool dirty;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    batches = working_batches_;
+    updates = working_updates_;
+    dirty = working_dirty_;
+    if (batches == published_.batches_applied && !dirty) return;  // no news
+  }
+  // The O(substrate) copy runs here, on the writer thread, outside mu_ —
+  // readers resolving Current() meanwhile keep getting the previous
+  // version instantly. working_ cannot change concurrently (same thread
+  // applies), so the copy is a consistent snapshot. When every consumed
+  // batch coalesced to nothing the substrate is unchanged and the previous
+  // immutable copy is reused — only the stream position moves.
+  std::shared_ptr<const PreparedWorkspace> snapshot;
+  if (dirty) snapshot = std::make_shared<const PreparedWorkspace>(working_);
+  std::lock_guard<std::mutex> lock(mu_);
+  if (snapshot) published_.workspace = std::move(snapshot);
+  ++published_.epoch;
+  published_.batches_applied = batches;
+  published_.updates_applied = updates;
+  published_.published_at = Clock::now();
+  working_dirty_ = false;
+}
+
+PublishedVersion LiveWorkspace::Current() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return published_;
+}
+
+StalenessReport LiveWorkspace::Staleness() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  StalenessReport report;
+  report.batches = working_batches_ - published_.batches_applied;
+  if (report.batches > 0) {
+    report.seconds =
+        std::chrono::duration<double>(Clock::now() - first_unpublished_at_)
+            .count();
+  }
+  return report;
+}
+
+}  // namespace krcore

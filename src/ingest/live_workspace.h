@@ -1,0 +1,152 @@
+#ifndef KRCORE_INGEST_LIVE_WORKSPACE_H_
+#define KRCORE_INGEST_LIVE_WORKSPACE_H_
+
+#include <chrono>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <span>
+
+#include "core/pipeline.h"
+#include "core/workspace_update.h"
+#include "graph/graph.h"
+#include "similarity/similarity_oracle.h"
+#include "util/status.h"
+
+namespace krcore {
+
+/// One immutable published version of a live workspace: the substrate plus
+/// the point of the update stream it reflects. Holding the shared_ptr IS
+/// the epoch pin — a reader that resolved this version keeps mining it
+/// bit-stably no matter how many batches the writer applies or publishes
+/// meanwhile; the memory is reclaimed when the last pin drops.
+struct PublishedVersion {
+  std::shared_ptr<const PreparedWorkspace> workspace;
+  /// Publication sequence number: 0 for the initial publication, +1 per
+  /// Publish() that actually shipped new state.
+  uint64_t epoch = 0;
+  /// Position in the SUBMITTED update stream this version reflects, in
+  /// client batches and raw (pre-coalescing) updates: the workspace is
+  /// structurally identical to a cold PrepareWorkspace of the graph after
+  /// exactly the first `batches_applied` submitted batches (minus any
+  /// batches the pipeline dropped on rollback — see IngestPipeline).
+  uint64_t batches_applied = 0;
+  uint64_t updates_applied = 0;
+  std::chrono::steady_clock::time_point published_at{};
+};
+
+/// Published-version lag: how far the readable state trails the applied
+/// stream. Bounded by construction in the ingestion pipeline (publish
+/// cadence is a configured number of batches), surfaced per workspace by
+/// the server stats and per response by the protocol.
+struct StalenessReport {
+  uint64_t batches = 0;  // batches applied to the successor but unpublished
+  double seconds = 0.0;  // age of the oldest such batch (0 when batches==0)
+};
+
+/// The epoch-publication core of continuous ingestion: ONE writer applies
+/// coalesced batches to a private successor workspace while ANY number of
+/// readers mine the latest published immutable version — queries never wait
+/// on repair work, repair never waits on queries.
+///
+/// RCU-style lifecycle, built on the seams PR 4-9 left in place:
+///
+///   - the successor (`working_`) is a writer-private PreparedWorkspace
+///     maintained exactly by WorkspaceUpdater — structurally identical to a
+///     cold preparation of the updated graph after every batch, and rolled
+///     back bit-identically when a batch aborts (deadline, failpoint), so a
+///     failed batch can never leak into a publication;
+///   - Publish() snapshots the successor into an immutable heap copy and
+///     swaps the published shared_ptr. The copy runs on the writer thread;
+///     readers only ever execute a pointer copy under a mutex held for
+///     nanoseconds — never a repair, never a copy. Components the updater
+///     did not touch are byte-identical across versions (reused wholesale),
+///     and mmap-borrowed arrays stay borrowed through the copy with the
+///     mapping anchor shared, so a publication costs the touched region
+///     plus array memcpy, not a re-preparation;
+///   - in-flight readers keep their version pinned via the shared_ptr;
+///     dropping the last pin frees that version. No reader/writer fence is
+///     ever needed beyond the mutex: published workspaces are immutable.
+///
+/// Thread contract: Apply/Publish from one writer thread (the ingestion
+/// pipeline's); Current/Staleness from any thread.
+class LiveWorkspace {
+ public:
+  /// Takes ownership of `ws`, which must be the workspace prepared from
+  /// (`g`, `oracle`) — the same triple contract WorkspaceUpdater enforces.
+  /// `g` and `oracle` are only read during construction. Publishes the
+  /// initial state as epoch 0.
+  LiveWorkspace(const Graph& g, const SimilarityOracle& oracle,
+                PreparedWorkspace ws);
+
+  LiveWorkspace(const LiveWorkspace&) = delete;
+  LiveWorkspace& operator=(const LiveWorkspace&) = delete;
+
+  /// Applies one coalesced batch to the private successor, all-or-nothing
+  /// (see WorkspaceUpdater::ApplyEdgeUpdates). The published version is
+  /// untouched either way — new state becomes readable only at Publish().
+  /// `batches_consumed` / `raw_updates_consumed` advance the stream
+  /// position the next publication reports: the number of SUBMITTED
+  /// batches/updates `updates` is the coalesced image of (the coalescer may
+  /// merge several client batches into one repair, or collapse one to
+  /// nothing — an empty `updates` just advances the position). On failure
+  /// the position does not advance.
+  Status Apply(std::span<const EdgeUpdate> updates,
+               const UpdateOptions& options, uint64_t batches_consumed,
+               uint64_t raw_updates_consumed, UpdateReport* report = nullptr);
+
+  /// Single-batch convenience form (position advances by one batch).
+  Status Apply(std::span<const EdgeUpdate> updates,
+               const UpdateOptions& options, UpdateReport* report = nullptr) {
+    return Apply(updates, options, 1, updates.size(), report);
+  }
+
+  /// Ships the successor state: deep-copies it into a new immutable
+  /// version and atomically swaps the published pointer. No-op (no epoch
+  /// bump, no copy) when nothing was applied since the last publication;
+  /// when only fully-coalesced-away batches advanced the position, the
+  /// epoch and position move forward but the previous substrate is reused
+  /// without a copy.
+  void Publish();
+
+  /// The latest published version; the returned shared_ptr pins it.
+  PublishedVersion Current() const;
+
+  StalenessReport Staleness() const;
+
+  /// True iff {u, v} is an edge of the successor's similarity-filtered
+  /// graph (the coalescer's presence oracle must see applied-but-
+  /// unpublished state, which this reflects). Writer thread only.
+  bool HasSimilarEdge(VertexId u, VertexId v) const {
+    return updater_.HasSimilarEdge(u, v);
+  }
+
+  VertexId num_vertices() const { return updater_.num_vertices(); }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+
+  // Writer-private successor state. Stable address: the updater is bound to
+  // &working_ for the object's lifetime.
+  PreparedWorkspace working_;
+  WorkspaceUpdater updater_;
+  // Successor progress counters: written by the writer, read by Staleness()
+  // from reader threads — every access happens under mu_.
+  uint64_t working_batches_ = 0;
+  uint64_t working_updates_ = 0;
+  // True when the updater mutated working_ since the last publication (an
+  // all-noop batch advances the position but leaves the substrate intact,
+  // so Publish() can skip the copy).
+  bool working_dirty_ = false;
+  Clock::time_point first_unpublished_at_{};
+
+  // Reader-visible state. The mutex guards only pointer/counter copies —
+  // the successor counters live here too because Staleness() reads them
+  // from reader threads.
+  mutable std::mutex mu_;
+  PublishedVersion published_;
+};
+
+}  // namespace krcore
+
+#endif  // KRCORE_INGEST_LIVE_WORKSPACE_H_

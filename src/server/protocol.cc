@@ -212,6 +212,13 @@ std::string SerializeResponse(const QueryResponse& response) {
   out += ",\"r\":" + JsonDouble(response.r);
   if (response.status.ok() || response.status.IsDeadlineExceeded()) {
     out += ",\"version\":" + std::to_string(response.workspace_version);
+    if (response.live) {
+      out += ",\"epoch\":" + std::to_string(response.epoch);
+      out += ",\"staleness_batches\":" +
+             std::to_string(response.staleness_batches);
+      out += ",\"staleness_seconds\":" +
+             JsonDouble(response.staleness_seconds);
+    }
     out += ",\"count\":" + std::to_string(response.count);
     if (response.kind == QueryKind::kDerive) {
       out += ",\"components\":" + std::to_string(response.num_components);

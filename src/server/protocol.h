@@ -64,6 +64,15 @@ struct QueryResponse {
   uint32_t k = 0;
   double r = 0.0;
   uint64_t workspace_version = 0;
+  /// Live-ingestion serving metadata, meaningful only when `live` is true
+  /// (the workspace is in live-updating registration): the published epoch
+  /// the response's substrate came from, and the published-version lag
+  /// observed at admission. Serialized only for live workspaces, so frozen
+  /// responses are byte-identical to pre-ingestion builds.
+  bool live = false;
+  uint64_t epoch = 0;
+  uint64_t staleness_batches = 0;
+  double staleness_seconds = 0.0;
   /// kEnumerate: all maximal cores (truncated to `limit`); kMaximum: one
   /// entry holding the maximum core (absent when none exists).
   std::vector<VertexSet> cores;

@@ -69,6 +69,13 @@ std::string ServerStatsSnapshot::ToJson() const {
     out += w.lazy_loaded ? "true" : "false";
     out += ",\"mapped\":";
     out += w.mapped ? "true" : "false";
+    out += ",\"live\":";
+    out += w.live ? "true" : "false";
+    if (w.live) {
+      out += ",\"epoch\":" + std::to_string(w.epoch);
+      out += ",\"staleness_batches\":" + std::to_string(w.staleness_batches);
+      out += ",\"staleness_seconds\":" + JsonDouble(w.staleness_seconds);
+    }
     out += "}";
   }
   out += "]}";
@@ -204,13 +211,15 @@ std::shared_future<QueryResponse> QueryServer::Submit(
     return Reject(resolved, Status::InvalidArgument(
                                 "query needs k >= 1 and a finite r"));
   }
+  WorkspaceRegistry::Resolved resolution;
   if (Status s = registry_->Resolve(resolved.workspace, resolved.k,
-                                    resolved.r, &base);
+                                    resolved.r, &resolution);
       !s.ok()) {
     std::lock_guard<std::mutex> lock(mu_);
     ++stats_.rejected_unservable;
     return Reject(resolved, std::move(s));
   }
+  base = std::move(resolution.ws);
 
   Waiter waiter;
   waiter.id = resolved.id;
@@ -251,6 +260,9 @@ std::shared_future<QueryResponse> QueryServer::Submit(
                                 : Deadline::Infinite();
   job->key = key;
   job->base = std::move(base);
+  job->live = resolution.live;
+  job->epoch = resolution.epoch;
+  job->staleness = resolution.staleness;
   job->needs_derive = job->request.k != job->base->k ||
                       job->request.r != job->base->threshold;
   job->derive_enqueued_at = waiter.admitted_at;
@@ -443,6 +455,10 @@ void QueryServer::Respond(const std::shared_ptr<Job>& job,
   response.r = job->request.r;
   response.workspace_version =
       job->base ? job->base->version : 0;
+  response.live = job->live;
+  response.epoch = job->epoch;
+  response.staleness_batches = job->staleness.batches;
+  response.staleness_seconds = job->staleness.seconds;
   response.derive_seconds = job->derive_seconds;
   if (Failpoints::ShouldFail("server/respond")) {
     job->injected_fault = true;

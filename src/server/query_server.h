@@ -157,6 +157,11 @@ class QueryServer {
     Deadline deadline;
     std::string key;
     std::shared_ptr<const PreparedWorkspace> base;
+    /// Live-serving metadata sampled at admission (see
+    /// WorkspaceRegistry::Resolved); copied onto every waiter's response.
+    bool live = false;
+    uint64_t epoch = 0;
+    StalenessReport staleness;
     /// Filled by the derive stage when the cell differs from the base's
     /// identity; otherwise the base components serve directly.
     PreparedWorkspace derived;

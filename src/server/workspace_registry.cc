@@ -11,7 +11,9 @@ Status WorkspaceRegistry::AddLocked(const std::string& name, Registered reg) {
   if (name.empty()) {
     return Status::InvalidArgument("workspace name must not be empty");
   }
-  if (reg.ws->k == 0) {
+  const PreparedWorkspace& probe =
+      reg.live ? *reg.live->Current().workspace : *reg.ws;
+  if (probe.k == 0) {
     return Status::InvalidArgument("workspace '" + name +
                                    "' is empty (k == 0); register only "
                                    "PrepareWorkspace/snapshot output");
@@ -67,6 +69,16 @@ Status WorkspaceRegistry::AddFromSnapshot(const std::string& name,
   return AddLocked(name, std::move(reg));
 }
 
+Status WorkspaceRegistry::AddLive(const std::string& name,
+                                  std::shared_ptr<LiveWorkspace> live) {
+  if (!live) {
+    return Status::InvalidArgument("AddLive needs a non-null LiveWorkspace");
+  }
+  Registered reg;
+  reg.live = std::move(live);
+  return AddLocked(name, std::move(reg));
+}
+
 Status WorkspaceRegistry::Alias(const std::string& alias,
                                 const std::string& existing) {
   if (alias.empty()) {
@@ -98,32 +110,69 @@ std::shared_ptr<const PreparedWorkspace> WorkspaceRegistry::Find(
     const std::string& name) const {
   std::lock_guard<std::mutex> lock(mu_);
   auto it = entries_.find(name);
-  return it == entries_.end() ? nullptr : it->second.ws;
+  if (it == entries_.end()) return nullptr;
+  // Live entries serve the latest published version: resolving is the
+  // epoch pin — the returned pointer stays bit-stable across later
+  // publications.
+  if (it->second.live) return it->second.live->Current().workspace;
+  return it->second.ws;
+}
+
+std::shared_ptr<LiveWorkspace> WorkspaceRegistry::FindLive(
+    const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = entries_.find(name);
+  return it == entries_.end() ? nullptr : it->second.live;
+}
+
+Status WorkspaceRegistry::Resolve(const std::string& name, uint32_t k,
+                                  double r, Resolved* out) const {
+  Registered reg;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = entries_.find(name);
+    if (it == entries_.end()) {
+      return Status::NotFound("workspace '" + name + "' is not registered");
+    }
+    reg = it->second;
+  }
+  Resolved res;
+  if (reg.live) {
+    PublishedVersion version = reg.live->Current();
+    res.ws = std::move(version.workspace);
+    res.live = true;
+    res.epoch = version.epoch;
+    res.staleness = reg.live->Staleness();
+  } else {
+    res.ws = std::move(reg.ws);
+  }
+  const PreparedWorkspace& ws = *res.ws;
+  if (!ws.Serves(k, r)) {
+    std::string range =
+        ws.scored ? "r in [" + std::to_string(ws.threshold) + ", " +
+                        std::to_string(ws.score_cover) + "]"
+                  : "r == " + std::to_string(ws.threshold);
+    if (ws.scored && ws.is_distance) {
+      range = "r in [" + std::to_string(ws.score_cover) + ", " +
+              std::to_string(ws.threshold) + "]";
+    }
+    return Status::InvalidArgument(
+        "workspace '" + name + "' cannot serve (k=" + std::to_string(k) +
+        ", r=" + std::to_string(r) + "); it serves k >= " +
+        std::to_string(ws.k) + " and " + range);
+  }
+  *out = std::move(res);
+  return Status::OK();
 }
 
 Status WorkspaceRegistry::Resolve(
     const std::string& name, uint32_t k, double r,
     std::shared_ptr<const PreparedWorkspace>* out) const {
-  std::shared_ptr<const PreparedWorkspace> ws = Find(name);
-  if (!ws) {
-    return Status::NotFound("workspace '" + name + "' is not registered");
-  }
-  if (!ws->Serves(k, r)) {
-    std::string range =
-        ws->scored ? "r in [" + std::to_string(ws->threshold) + ", " +
-                         std::to_string(ws->score_cover) + "]"
-                   : "r == " + std::to_string(ws->threshold);
-    if (ws->scored && ws->is_distance) {
-      range = "r in [" + std::to_string(ws->score_cover) + ", " +
-              std::to_string(ws->threshold) + "]";
-    }
-    return Status::InvalidArgument(
-        "workspace '" + name + "' cannot serve (k=" + std::to_string(k) +
-        ", r=" + std::to_string(r) + "); it serves k >= " +
-        std::to_string(ws->k) + " and " + range);
-  }
-  *out = std::move(ws);
-  return Status::OK();
+  Resolved res;
+  Status s = Resolve(name, k, r, &res);
+  if (!s.ok()) return s;
+  *out = std::move(res.ws);
+  return s;
 }
 
 std::vector<WorkspaceRegistry::Entry> WorkspaceRegistry::List() const {
@@ -131,8 +180,18 @@ std::vector<WorkspaceRegistry::Entry> WorkspaceRegistry::List() const {
   std::vector<Entry> out;
   out.reserve(entries_.size());
   for (const auto& [name, reg] : entries_) {
-    const PreparedWorkspace& ws = *reg.ws;
     Entry e;
+    std::shared_ptr<const PreparedWorkspace> pinned = reg.ws;
+    if (reg.live) {
+      PublishedVersion version = reg.live->Current();
+      pinned = std::move(version.workspace);
+      const StalenessReport staleness = reg.live->Staleness();
+      e.live = true;
+      e.epoch = version.epoch;
+      e.staleness_batches = staleness.batches;
+      e.staleness_seconds = staleness.seconds;
+    }
+    const PreparedWorkspace& ws = *pinned;
     e.name = name;
     e.k = ws.k;
     e.threshold = ws.threshold;

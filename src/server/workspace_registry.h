@@ -9,6 +9,7 @@
 #include <vector>
 
 #include "core/pipeline.h"
+#include "ingest/live_workspace.h"
 #include "util/status.h"
 
 namespace krcore {
@@ -49,6 +50,24 @@ class WorkspaceRegistry {
     bool lazy_loaded = false;
     /// True when the workspace serves from an mmap.
     bool mapped = false;
+    /// Live-updating registration (AddLive): the entry serves the latest
+    /// published version of an ingestion-fed LiveWorkspace instead of a
+    /// frozen substrate. `epoch` and the staleness pair are sampled at
+    /// List() time.
+    bool live = false;
+    uint64_t epoch = 0;
+    uint64_t staleness_batches = 0;
+    double staleness_seconds = 0.0;
+  };
+
+  /// What Resolve hands the server: the substrate pinned for the query,
+  /// plus — for live entries — the published epoch it came from and the
+  /// staleness observed at resolution time.
+  struct Resolved {
+    std::shared_ptr<const PreparedWorkspace> ws;
+    bool live = false;
+    uint64_t epoch = 0;
+    StalenessReport staleness;
   };
 
   /// Registers `ws` under `name`. Rejects empty names, names already
@@ -80,6 +99,14 @@ class WorkspaceRegistry {
   /// and Remove on either name do not affect the other.
   Status Alias(const std::string& alias, const std::string& existing);
 
+  /// Live-updating registration: the entry serves `live`'s latest
+  /// published version — every Find/Resolve re-samples the published
+  /// pointer, so queries admitted after a publication see the new epoch
+  /// while in-flight queries keep the version they pinned. The caller owns
+  /// the ingestion side (LiveWorkspace outlives its pipeline; the shared_ptr
+  /// here keeps the object itself alive past Remove for in-flight readers).
+  Status AddLive(const std::string& name, std::shared_ptr<LiveWorkspace> live);
+
   Status Remove(const std::string& name);
 
   /// The workspace registered under `name`, or nullptr. The returned
@@ -93,6 +120,15 @@ class WorkspaceRegistry {
   Status Resolve(const std::string& name, uint32_t k, double r,
                  std::shared_ptr<const PreparedWorkspace>* out) const;
 
+  /// Resolve variant carrying live-serving metadata (epoch + staleness at
+  /// resolution) for response stamping; identical servability rules.
+  Status Resolve(const std::string& name, uint32_t k, double r,
+                 Resolved* out) const;
+
+  /// The LiveWorkspace registered under `name`, or nullptr for unknown
+  /// names and frozen entries.
+  std::shared_ptr<LiveWorkspace> FindLive(const std::string& name) const;
+
   /// Serving identities of every registered workspace, in name order.
   std::vector<Entry> List() const;
 
@@ -103,7 +139,10 @@ class WorkspaceRegistry {
   /// immutable alongside the workspace; aliases share the substrate but
   /// copy the metadata (they describe the same load).
   struct Registered {
+    /// Frozen entries: the substrate itself. Live entries: unset — the
+    /// substrate is re-sampled from `live` on every lookup.
     std::shared_ptr<const PreparedWorkspace> ws;
+    std::shared_ptr<LiveWorkspace> live;
     uint32_t snapshot_version = 0;
     double load_seconds = 0.0;
     bool lazy_loaded = false;

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "datasets/dataset_spec.h"
 #include "datasets/generators.h"
 #include "similarity/threshold.h"
 #include "util/random.h"
@@ -155,6 +156,93 @@ TEST(Datasets, PaperAnalogueDegreeOrdering) {
   EXPECT_GT(pokec.graph.average_degree(), dblp.graph.average_degree());
   EXPECT_GT(dblp.graph.average_degree(), brightkite.graph.average_degree());
   EXPECT_GT(brightkite.graph.average_degree(), gowalla.graph.average_degree());
+}
+
+TEST(Datasets, SkewedDegreeDistributionIsHeavyTailed) {
+  SkewedConfig c;
+  c.num_vertices = 4000;
+  c.average_degree = 8.0;
+  c.seed = 11;
+  Dataset d = MakeSkewed(c);
+  EXPECT_EQ(d.graph.num_vertices(), 4000u);
+  EXPECT_EQ(d.metric, Metric::kJaccard);
+  EXPECT_GT(d.graph.num_edges(), 0u);
+  // The hub end of a power law: the max degree dwarfs the average far
+  // beyond what the community generators produce.
+  EXPECT_GT(d.graph.max_degree(), 20 * d.graph.average_degree());
+}
+
+TEST(Datasets, SkewedAttributesClusterByConstruction) {
+  SkewedConfig c;
+  c.num_vertices = 2000;
+  c.seed = 13;
+  Dataset d = MakeSkewed(c);
+  SimilarityOracle oracle = d.MakeOracle(0.0);
+  // Neighbors (mostly intra-cluster by construction) share keyword blocks,
+  // so they are markedly more similar than random pairs.
+  double friend_sum = 0.0;
+  uint64_t friend_count = 0;
+  for (VertexId u = 0; u < d.graph.num_vertices(); ++u) {
+    for (VertexId v : d.graph.neighbors(u)) {
+      if (u < v) {
+        friend_sum += oracle.Value(u, v);
+        ++friend_count;
+      }
+    }
+  }
+  ASSERT_GT(friend_count, 0u);
+  Rng rng(5);
+  double random_sum = 0.0;
+  const int random_count = 20000;
+  for (int i = 0; i < random_count; ++i) {
+    VertexId u = static_cast<VertexId>(rng.NextBounded(d.graph.num_vertices()));
+    VertexId v = static_cast<VertexId>(rng.NextBounded(d.graph.num_vertices()));
+    if (u == v) continue;
+    random_sum += oracle.Value(u, v);
+  }
+  EXPECT_GT(friend_sum / friend_count, 2.0 * (random_sum / random_count))
+      << "neighbors not attribute-clustered";
+}
+
+TEST(Datasets, SkewedDeterministicInSeed) {
+  SkewedConfig c;
+  c.num_vertices = 600;
+  c.seed = 21;
+  Dataset a = MakeSkewed(c);
+  Dataset b = MakeSkewed(c);
+  EXPECT_EQ(a.graph.num_edges(), b.graph.num_edges());
+  for (VertexId u = 0; u < a.graph.num_vertices(); ++u) {
+    ASSERT_EQ(a.graph.neighbors(u).size(), b.graph.neighbors(u).size());
+  }
+  c.seed = 22;
+  Dataset other = MakeSkewed(c);
+  EXPECT_NE(a.graph.num_edges(), other.graph.num_edges());
+}
+
+TEST(Datasets, DatasetSpecFactoryBuildsEveryKind) {
+  for (const std::string& kind : DatasetSpecKinds()) {
+    DatasetSpec spec;
+    spec.kind = kind;
+    spec.scale = 0.05;
+    spec.seed = 3;
+    Dataset d;
+    ASSERT_TRUE(MakeDataset(spec, &d).ok()) << kind;
+    EXPECT_GT(d.graph.num_vertices(), 0u) << kind;
+    EXPECT_GT(d.graph.num_edges(), 0u) << kind;
+  }
+}
+
+TEST(Datasets, DatasetSpecFactoryRejectsUnknownKindAndBadScale) {
+  Dataset d;
+  DatasetSpec spec;
+  spec.kind = "nonesuch";
+  Status s = MakeDataset(spec, &d);
+  EXPECT_TRUE(s.IsInvalidArgument());
+  EXPECT_NE(s.message().find("skewed"), std::string::npos)
+      << "error should name the valid kinds: " << s.message();
+  spec.kind = "skewed";
+  spec.scale = 0.0;
+  EXPECT_TRUE(MakeDataset(spec, &d).IsInvalidArgument());
 }
 
 }  // namespace
